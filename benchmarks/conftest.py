@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="run benchmarks at (closer to) the paper's sizes; slow")
+
+
+@pytest.fixture
+def paper_scale(request):
+    return request.config.getoption("--paper-scale")

@@ -1,0 +1,42 @@
+"""Ablation A1: the K-stability trade-off (paper section 3.8).
+
+"The exact value of K is a trade-off between two extremes.  If K = 1, the
+probability of incompatibility is high.  If K = N, a single slow DC could
+prevent all edge transactions from becoming visible."
+
+We sweep K over a 3-DC topology where dc2 is slow (60ms) and report, per
+K: edge visibility lag and the number of causally-incompatible migration
+attempts.
+"""
+
+import math
+
+import pytest
+
+from repro.bench import ablation_kstability
+
+
+@pytest.mark.benchmark(group="ablation-kstability")
+def test_kstability_tradeoff(benchmark):
+    def run():
+        return [ablation_kstability(k, updates=15, migrations=6)
+                for k in (1, 2, 3)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  K-stability ablation (3 DCs, dc2 slow):")
+    print("      K | visibility lag (ms) | incompatible migrations")
+    for row in rows:
+        print(f"      {row.k} | {row.visibility_lag_ms:19.1f}"
+              f" | {row.migration_rejections:5d}")
+
+    by_k = {row.k: row for row in rows}
+    # Lag grows monotonically with K...
+    assert by_k[1].visibility_lag_ms < by_k[2].visibility_lag_ms \
+        < by_k[3].visibility_lag_ms
+    # ...K = N is gated by the slow DC...
+    assert by_k[3].visibility_lag_ms > 60.0
+    # ...and low K pays with incompatible migrations while K >= 2 does not.
+    assert by_k[1].migration_rejections > 0
+    assert by_k[2].migration_rejections == 0
+    assert by_k[3].migration_rejections == 0
+    assert not math.isnan(by_k[1].visibility_lag_ms)

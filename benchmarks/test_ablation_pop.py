@@ -1,0 +1,85 @@
+"""Ablation A4: a PoP border tier (paper Figure 1 and section 9).
+
+"Placing clients at different levels of the hierarchy, in particular in
+Content Delivery Network points of presence, might improve perceived
+latency even more."  We compare cold-object fetch latency and DC request
+load for edges connected directly to the DC (cellular, ~50ms) versus via a
+PoP on carrier Ethernet (~10ms).
+"""
+
+import pytest
+
+from repro.core import ObjectKey
+from repro.edge import EdgeNode, PoPNode
+from repro.sim import CELLULAR, ETHERNET, Simulation
+
+from repro.dc.datacenter import DataCenter
+from repro.sim.network import LAN
+
+
+def _cluster(sim):
+    dc = sim.spawn(DataCenter, "dc0", peer_dcs=[], n_shards=2, k_target=1)
+    for shard in dc.shard_ids:
+        sim.network.set_link("dc0", shard, LAN)
+    return dc
+
+
+def _measure_cold_fetches(via_pop: bool, n_edges: int = 8,
+                          n_objects: int = 6, seed: int = 91):
+    sim = Simulation(seed=seed, default_latency=CELLULAR)
+    dc = _cluster(sim)
+    keys = [ObjectKey("cdn", f"obj{i}") for i in range(n_objects)]
+
+    if via_pop:
+        pop = sim.spawn(PoPNode, "pop0", dc_id="dc0")
+        sim.network.set_link("pop0", "dc0", CELLULAR)
+        upstream = "pop0"
+        # The PoP pre-caches the content (its raison d'etre).
+        for key in keys:
+            pop.declare_interest(key, "counter")
+        pop.connect()
+        sim.run_for(500)
+    else:
+        upstream = "dc0"
+
+    edges = []
+    for i in range(n_edges):
+        edge = sim.spawn(EdgeNode, f"e{i}", dc_id=upstream)
+        sim.network.set_link(f"e{i}", upstream,
+                             ETHERNET if via_pop else CELLULAR)
+        edge.connect()
+        edges.append(edge)
+    sim.run_for(500)
+
+    requests_before = dc.stats["edge_commits"] + dc.stats["remote_txns"]
+    for index, edge in enumerate(edges):
+        key = keys[index % n_objects]
+
+        def body(tx, k=key):
+            return (yield tx.read(k, "counter"))
+
+        edge.run_transaction(body)
+    sim.run_for(3000)
+    latencies = [s.latency for e in edges for s in e.txn_stats]
+    dc_fetches = sum(1 for e in edges for s in e.txn_stats
+                     if s.served_by == "dc")
+    mean = sum(latencies) / len(latencies)
+    return mean, dc_fetches, len(latencies)
+
+
+@pytest.mark.benchmark(group="ablation-pop")
+def test_pop_tier_cuts_fetch_latency(benchmark):
+    def run():
+        return {"direct": _measure_cold_fetches(via_pop=False),
+                "via_pop": _measure_cold_fetches(via_pop=True)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  PoP-tier ablation (cold-object fetches):")
+    for name, (mean, dc_fetches, count) in results.items():
+        print(f"    {name:>8s}: mean fetch={mean:7.2f} ms"
+              f"  (n={count})")
+    direct_mean = results["direct"][0]
+    pop_mean = results["via_pop"][0]
+    # Border hits cost ~one Ethernet RTT instead of ~one cellular RTT.
+    assert pop_mean < direct_mean / 2
+    assert results["direct"][2] == results["via_pop"][2]

@@ -1,0 +1,72 @@
+"""Ablation A5: eager vs writeback commit shipping (paper section 6.1).
+
+The cache policy parameters of `open_bucket` include "writeback": instead
+of shipping every commit eagerly, the edge buffers commits and ships them
+in periodic batches.  Fewer uplink messages, at the cost of a longer
+symbolic-commit window (acks arrive later).
+"""
+
+import pytest
+
+from repro.core import ObjectKey
+from repro.edge import EdgeNode
+from repro.sim import LatencyModel, Simulation
+
+from repro.dc.datacenter import DataCenter
+from repro.sim.network import LAN
+
+KEY = ObjectKey("b", "x")
+
+
+def _run(writeback_ms, n_updates=40, seed=95):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    dc = sim.spawn(DataCenter, "dc0", peer_dcs=[], n_shards=2, k_target=1)
+    for shard in dc.shard_ids:
+        sim.network.set_link("dc0", shard, LAN)
+    node = sim.spawn(EdgeNode, "e", dc_id="dc0",
+                     writeback_ms=writeback_ms)
+    node.declare_interest(KEY, "counter")
+    node.connect()
+    sim.run_for(300)
+    sent_before = sim.network.stats.messages_sent
+    ack_times = {}
+
+    def one(index):
+        def body(tx):
+            yield tx.update(KEY, "counter", "increment", 1)
+        node.run_transaction(body)
+        dot = next(reversed(node.unacked))
+        commit_time = sim.now
+
+        def poll():
+            if dot not in node.unacked and dot not in ack_times:
+                ack_times[dot] = sim.now - commit_time
+            elif dot not in ack_times:
+                sim.loop.schedule(5.0, poll)
+        sim.loop.schedule(5.0, poll)
+
+    for index in range(n_updates):
+        sim.loop.schedule(index * 25.0, lambda i=index: one(i))
+    sim.run_for(n_updates * 25.0 + 4000.0)
+    assert not node.unacked
+    assert dc.committed_count == n_updates
+    messages = sim.network.stats.messages_sent - sent_before
+    mean_ack = sum(ack_times.values()) / len(ack_times)
+    return messages, mean_ack
+
+
+@pytest.mark.benchmark(group="ablation-writeback")
+def test_writeback_tradeoff(benchmark):
+    def run():
+        return {"eager": _run(None), "writeback-250ms": _run(250.0)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  Writeback ablation (40 commits over 1s):")
+    for name, (messages, mean_ack) in results.items():
+        print(f"    {name:>15s}: network messages={messages:5d}"
+              f"  mean time-to-ack={mean_ack:7.1f} ms")
+    eager_msgs, eager_ack = results["eager"]
+    batch_msgs, batch_ack = results["writeback-250ms"]
+    # Batching trades uplink messages for commit-stamp freshness.
+    assert batch_msgs < eager_msgs
+    assert batch_ack > eager_ack

@@ -1,0 +1,105 @@
+"""Figure 4: throughput vs response time for the six configurations.
+
+Paper claims reproduced as *shape* assertions:
+
+* colony >= swiftcloud >= antidote on throughput at equal load;
+* response time colony < swiftcloud << antidote (paper: 8x / 20x gains);
+* more DCs raise AntidoteDB's saturated throughput (paper: +40% for 3);
+* adding DCs does not improve AntidoteDB's latency (still one RTT).
+"""
+
+import pytest
+
+from repro.bench import fig4_curve, fig4_point
+
+
+def _print_curve(points):
+    for p in points:
+        print(f"    {p.mode:>10s} {p.n_dcs}-DC n={p.n_clients:<4d}"
+              f" throughput={p.throughput_tps:9.1f} txn/s"
+              f"  mean={p.mean_latency_ms:8.3f} ms"
+              f"  p99={p.p99_latency_ms:8.3f} ms")
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_mode_comparison(benchmark, paper_scale):
+    """The headline comparison at a fixed mid-range load."""
+    n_clients = 64 if paper_scale else 24
+
+    def run():
+        return {mode: fig4_point(mode, n_dcs=1, n_clients=n_clients,
+                                 measure_ms=2500.0, warm_ms=1500.0)
+                for mode in ("antidote", "swiftcloud", "colony")}
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  Figure 4 (single point, 1 DC):")
+    _print_curve(points.values())
+
+    antidote, swift, colony = (points["antidote"], points["swiftcloud"],
+                               points["colony"])
+    # Throughput ordering (caching 1.4x, groups 1.6x in the paper; the
+    # simulated gap is larger, the ordering is the claim).
+    assert colony.throughput_tps >= swift.throughput_tps \
+        >= antidote.throughput_tps
+    # Response-time ordering (paper: 8x and 20x).
+    assert colony.mean_latency_ms < swift.mean_latency_ms
+    assert swift.mean_latency_ms * 8 < antidote.mean_latency_ms
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_load_curves(benchmark, paper_scale):
+    """Throughput/latency as the load grows (the curve shape)."""
+    ladder = (4, 16, 64) if not paper_scale else (4, 16, 64, 256)
+
+    def run():
+        return {mode: fig4_curve(mode, n_dcs=1, client_ladder=ladder,
+                                 measure_ms=2000.0, warm_ms=1200.0)
+                for mode in ("antidote", "swiftcloud", "colony")}
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  Figure 4 (load curves, 1 DC):")
+    for mode, points in curves.items():
+        _print_curve(points)
+    for mode, points in curves.items():
+        throughputs = [p.throughput_tps for p in points]
+        # Pre-saturation: throughput grows with client count.
+        assert throughputs == sorted(throughputs), mode
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_antidote_dc_scaling(benchmark, paper_scale):
+    """AntidoteDB saturates on DC capacity; more DCs help throughput but
+    not latency (paper section 7.3)."""
+    # A DC serves ~4000 req/s (0.25ms service time); each cache-less
+    # client offers ~8 txn/s, so >500 clients saturate a single DC.
+    n_clients = 1024 if paper_scale else 640
+
+    def run():
+        one = fig4_point("antidote", n_dcs=1, n_clients=n_clients,
+                         measure_ms=2500.0, warm_ms=1500.0)
+        three = fig4_point("antidote", n_dcs=3, n_clients=n_clients,
+                           measure_ms=2500.0, warm_ms=1500.0)
+        return one, three
+
+    one, three = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  Figure 4 (AntidoteDB saturation):")
+    _print_curve([one, three])
+    # The paper reports +40% from one to three DCs; we assert direction
+    # and a non-trivial factor.
+    assert three.throughput_tps > one.throughput_tps * 1.2
+    # Latency is still one client-DC round trip either way.
+    assert three.mean_latency_ms > 50.0
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_colony_3dc(benchmark):
+    """Colony with 3 DCs keeps its local latency profile."""
+
+    def run():
+        return fig4_point("colony", n_dcs=3, n_clients=24,
+                          measure_ms=2000.0, warm_ms=1500.0)
+
+    point = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n  Figure 4 (Colony, 3 DC):")
+    _print_curve([point])
+    assert point.mean_latency_ms < 5.0

@@ -1,0 +1,73 @@
+"""Figure 5: impact of a DC disconnection on a peer group.
+
+Paper shape: client hits near zero; peer-group hits a few ms; DC hits tens
+of ms; while the group's sync point is cut off from the DC (t in [25s,45s])
+local and peer latency are *unchanged* — collaboration continues seamlessly
+— and reconnection causes at most a slight blip.
+"""
+
+import pytest
+
+from repro.bench import fig5_dc_disconnection
+from repro.bench.metrics import TimelinePoint
+
+
+def window(points, start, end):
+    return [p for p in points if start <= p.at_ms <= end]
+
+
+def mean_latency(points):
+    return sum(p.latency_ms for p in points) / len(points) if points \
+        else float("nan")
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_dc_disconnection(benchmark, paper_scale):
+    duration = 70_000.0 if paper_scale else 24_000.0
+    disconnect = 25_000.0 if paper_scale else 8_000.0
+    reconnect = 45_000.0 if paper_scale else 16_000.0
+
+    result = benchmark.pedantic(
+        fig5_dc_disconnection, rounds=1, iterations=1,
+        kwargs=dict(duration_ms=duration, disconnect_at=disconnect,
+                    reconnect_at=reconnect))
+
+    group = result.points["group"]
+    solo = result.points["solo"]
+    phases = {
+        "before": (2_000.0, disconnect),
+        "during": (disconnect, reconnect),
+        "after": (reconnect + 1_000.0, duration),
+    }
+    print("\n  Figure 5 (latency by phase, ms):")
+    for name, (a, b) in phases.items():
+        print(f"    {name:>7s}: group={mean_latency(window(group, a, b)):7.3f}"
+              f"  solo={mean_latency(window(solo, a, b)):7.3f}")
+    by_class = {}
+    for p in group + solo:
+        by_class.setdefault(p.served_by, []).append(p.latency_ms)
+    for served, lats in sorted(by_class.items()):
+        print(f"    {served:>7s} hits: n={len(lats):5d}"
+              f" mean={sum(lats)/len(lats):8.3f} ms")
+
+    # Claim 1: the three latency classes are well separated
+    # (paper: ~0 / 2.3ms / 82ms).
+    assert "client" in by_class and "peer" in by_class
+    client_mean = sum(by_class["client"]) / len(by_class["client"])
+    peer_mean = sum(by_class["peer"]) / len(by_class["peer"])
+    assert client_mean < 0.1
+    assert client_mean < peer_mean < 5.0
+    if "dc" in by_class:
+        dc_mean = sum(by_class["dc"]) / len(by_class["dc"])
+        assert dc_mean > 20 * peer_mean
+
+    # Claim 2: group latency unchanged while offline.
+    before = mean_latency(window(group, *phases["before"]))
+    during = mean_latency(window(group, *phases["during"]))
+    assert during <= before + 1.0
+    # The group kept making progress while disconnected.
+    assert len(window(group, *phases["during"])) > 0
+
+    # Claim 3: reconnection has minimal impact.
+    after = mean_latency(window(group, *phases["after"]))
+    assert after <= before + 1.0

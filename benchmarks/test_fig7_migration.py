@@ -1,0 +1,59 @@
+"""Figure 7: synchronising with a peer group after migration.
+
+Paper shape: a mobile client with an invalid cache joins the group at
+t=45s; its first transactions are slower (the paper sees up to ~12ms,
+"way lower than the cost of reconnecting to a DC"), and within a few
+seconds its latency matches the rest of the group.
+"""
+
+import pytest
+
+from repro.bench import fig7_migration
+
+
+def window(points, start, end):
+    return [p for p in points if start <= p.at_ms <= end]
+
+
+def mean_latency(points):
+    return sum(p.latency_ms for p in points) / len(points) if points \
+        else 0.0
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_migration(benchmark, paper_scale):
+    duration = 70_000.0 if paper_scale else 26_000.0
+    join_at = 45_000.0 if paper_scale else 10_000.0
+
+    result = benchmark.pedantic(
+        fig7_migration, rounds=1, iterations=1,
+        kwargs=dict(duration_ms=duration, join_at=join_at))
+
+    mobile = result.points["mobile"]
+    group = result.points["group"]
+    sync_window = window(mobile, join_at, join_at + 3_000.0)
+    steady_window = window(mobile, join_at + 6_000.0, duration)
+    group_steady = window(group, join_at + 6_000.0, duration)
+
+    print("\n  Figure 7 (mobile client joining, ms):")
+    print(f"    sync phase : n={len(sync_window):3d}"
+          f" mean={mean_latency(sync_window):7.3f}"
+          f" max={max((p.latency_ms for p in sync_window), default=0):7.3f}")
+    print(f"    steady     : n={len(steady_window):3d}"
+          f" mean={mean_latency(steady_window):7.3f}")
+    print(f"    group      : n={len(group_steady):3d}"
+          f" mean={mean_latency(group_steady):7.3f}")
+
+    assert sync_window, "the mobile client made no progress after joining"
+    # During synchronisation the cold client is served by the group's
+    # collaborative cache, never by expensive DC refetches (paper: sync
+    # costs <= ~12ms vs ~82ms for a DC reconnect).
+    assert any(p.served_by == "peer" for p in sync_window)
+    assert max(p.latency_ms for p in sync_window) < 40.0
+    # After a few seconds the client's latency profile matches the rest
+    # of the group (compare medians: the odd DC-escalated miss is noise).
+    def median(points):
+        lats = sorted(p.latency_ms for p in points)
+        return lats[len(lats) // 2] if lats else 0.0
+
+    assert abs(median(steady_window) - median(group_steady)) < 1.0

@@ -1,0 +1,124 @@
+"""Micro-benchmarks: CRDT ops, journal materialisation, EPaxos rounds.
+
+These are classic pytest-benchmark timings (multiple rounds) for the hot
+paths of the library; they have no paper counterpart but guard against
+performance regressions of the substrate the figures run on.
+"""
+
+import pytest
+
+from repro.core import (CommitStamp, Dot, ObjectKey, ObjectJournal,
+                        Snapshot, Transaction, VectorClock, WriteOp)
+from repro.crdt import Counter, ORSet, RGASequence
+from repro.epaxos import EPaxosReplica
+
+
+@pytest.mark.benchmark(group="micro-crdt")
+def test_counter_apply_throughput(benchmark):
+    counter = Counter()
+    ops = [counter.prepare("increment", 1).with_tag((i, "a", 0))
+           for i in range(1000)]
+
+    def run():
+        c = Counter()
+        for op in ops:
+            c.apply(op)
+        return c.value()
+
+    assert benchmark(run) == 1000
+
+
+@pytest.mark.benchmark(group="micro-crdt")
+def test_orset_add_remove_throughput(benchmark):
+    def run():
+        s = ORSet()
+        for i in range(200):
+            add = s.prepare("add", i % 50).with_tag((2 * i, "a", 0))
+            s.apply(add)
+            if i % 3 == 0:
+                rem = s.prepare("remove", i % 50).with_tag(
+                    (2 * i + 1, "a", 0))
+                s.apply(rem)
+        return len(s.value())
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-crdt")
+def test_rga_append_throughput(benchmark):
+    def run():
+        seq = RGASequence()
+        for i in range(300):
+            op = seq.prepare("append", i).with_tag((i + 1, "a", 0))
+            seq.apply(op)
+        return len(seq)
+
+    assert benchmark(run) == 300
+
+
+@pytest.mark.benchmark(group="micro-journal")
+def test_journal_materialise(benchmark):
+    key = ObjectKey("b", "x")
+    journal = ObjectJournal(key, "counter")
+    for i in range(1, 301):
+        op = Counter().prepare("increment", 1)
+        txn = Transaction(Dot(i, "e"), "e", Snapshot(VectorClock()),
+                          CommitStamp({"dc0": i}), [WriteOp(key, op)])
+        journal.append(txn)
+    vec = VectorClock({"dc0": 300})
+
+    def run():
+        return journal.materialise(
+            lambda e: e.txn.commit.included_in(vec)).value()
+
+    assert benchmark(run) == 300
+
+
+@pytest.mark.benchmark(group="micro-journal")
+def test_journal_append(benchmark):
+    key = ObjectKey("b", "x")
+    txns = []
+    for i in range(1, 201):
+        op = Counter().prepare("increment", 1)
+        txns.append(Transaction(Dot(i, "e"), "e", Snapshot(VectorClock()),
+                                CommitStamp(), [WriteOp(key, op)]))
+
+    def run():
+        journal = ObjectJournal(key, "counter")
+        for txn in txns:
+            journal.append(txn)
+        return journal.journal_length
+
+    assert benchmark(run) == 200
+
+
+@pytest.mark.benchmark(group="micro-epaxos")
+def test_epaxos_commit_round(benchmark):
+    members = ["a", "b", "c"]
+
+    def run():
+        queue = []
+        executed = []
+        replicas = {}
+        for m in members:
+            replicas[m] = EPaxosReplica(
+                m, members, keys_of=lambda c: c["keys"],
+                on_execute=lambda c, i: executed.append(c["id"]),
+                send=(lambda src: (lambda dst, msg:
+                                   queue.append((src, dst, msg))))(m))
+        for i in range(20):
+            replicas[members[i % 3]].propose({"id": i, "keys": ["k"]})
+            while queue:
+                batch, queue[:] = list(queue), []
+                for src, dst, msg in batch:
+                    replicas[dst].handle(msg, src)
+        return len(executed)
+
+    assert benchmark(run) == 60  # 20 commands executed at 3 replicas
+
+
+@pytest.mark.benchmark(group="micro-clock")
+def test_vector_clock_merge(benchmark):
+    a = VectorClock({f"dc{i}": i for i in range(8)})
+    b = VectorClock({f"dc{i}": 10 - i for i in range(8)})
+    benchmark(lambda: a.merge(b))

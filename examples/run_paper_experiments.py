@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation and print the tables.
+
+This is the standalone, benchmark-free entry point (the same scenarios the
+`benchmarks/` suite asserts on).  Pass --paper-scale for sizes closer to
+the paper's; the default finishes in about a minute.
+
+Run:  python examples/run_paper_experiments.py [--paper-scale]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import (ablation_commit_variant, ablation_kstability,
+                         ablation_metadata, fig4_point,
+                         fig5_dc_disconnection, fig6_peer_disconnection,
+                         fig7_migration)
+
+
+def window_mean(points, start, end):
+    selected = [p for p in points if start <= p.at_ms <= end]
+    if not selected:
+        return float("nan"), 0
+    return sum(p.latency_ms for p in selected) / len(selected), \
+        len(selected)
+
+
+def banner(title):
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def run_fig4(paper_scale):
+    banner("Figure 4 — throughput vs response time")
+    ladder = (4, 16, 64) if not paper_scale else (4, 16, 64, 256)
+    print(f"{'config':>16s} {'clients':>8s} {'txn/s':>10s}"
+          f" {'mean ms':>9s} {'p99 ms':>9s}")
+    for mode in ("antidote", "swiftcloud", "colony"):
+        for n in ladder:
+            p = fig4_point(mode, n_dcs=1, n_clients=n,
+                           measure_ms=2000.0, warm_ms=1200.0)
+            print(f"{mode + ' 1-DC':>16s} {n:8d} {p.throughput_tps:10.1f}"
+                  f" {p.mean_latency_ms:9.3f} {p.p99_latency_ms:9.3f}")
+
+
+def run_timeline(name, fn, paper_scale):
+    banner(name)
+    duration = 70_000.0 if paper_scale else 24_000.0
+    cut = 25_000.0 if paper_scale else 8_000.0
+    heal = 45_000.0 if paper_scale else 16_000.0
+    if fn is fig7_migration:
+        result = fn(duration_ms=duration, join_at=heal)
+        phases = {"pre-join": (0, heal), "sync": (heal, heal + 3000),
+                  "steady": (heal + 6000, duration)}
+    else:
+        result = fn(duration_ms=duration, disconnect_at=cut,
+                    reconnect_at=heal)
+        phases = {"before": (2000, cut), "during": (cut, heal),
+                  "after": (heal + 1000, duration)}
+    for population, points in result.points.items():
+        row = [f"{population:>8s}:"]
+        for phase, (a, b) in phases.items():
+            mean, count = window_mean(points, a, b)
+            row.append(f"{phase}={mean:8.3f}ms (n={count})")
+        print("  " + "  ".join(row))
+
+
+def run_ablations():
+    banner("Ablation A1 — K-stability trade-off")
+    print("  K | visibility lag | incompatible migrations")
+    for k in (1, 2, 3):
+        row = ablation_kstability(k, updates=15, migrations=6)
+        print(f"  {row.k} | {row.visibility_lag_ms:11.1f} ms"
+              f" | {row.migration_rejections}")
+
+    banner("Ablation A2 — commit variants")
+    print("  variant | conflicts | commit latency | aborts/commits")
+    for variant in ("async", "psi"):
+        for rate in (0.0, 1.0):
+            row = ablation_commit_variant(variant, n_members=5,
+                                          txns_per_member=12,
+                                          conflict_rate=rate)
+            print(f"  {variant:>7s} | {rate:9.0%}"
+                  f" | {row.mean_commit_latency_ms:11.3f} ms"
+                  f" | {row.aborts}/{row.commits}")
+
+    banner("Ablation A3 — metadata size (3 DCs)")
+    print("  replicas | Colony | per-replica design")
+    for n in (10, 1000, 1_000_000):
+        row = ablation_metadata(3, n)
+        print(f"  {row.n_replicas:8d} | {row.colony_vector_bytes:5d} B"
+              f" | {row.per_replica_vector_bytes} B")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--paper-scale", action="store_true")
+    args = parser.parse_args()
+    started = time.time()
+
+    run_fig4(args.paper_scale)
+    run_timeline("Figure 5 — DC disconnection (peer group offline)",
+                 fig5_dc_disconnection, args.paper_scale)
+    run_timeline("Figure 6 — peer-group disconnection (one user)",
+                 fig6_peer_disconnection, args.paper_scale)
+    run_timeline("Figure 7 — migration into a peer group",
+                 fig7_migration, args.paper_scale)
+    run_ablations()
+
+    print(f"\nall experiments regenerated in"
+          f" {time.time() - started:.1f}s wall clock")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

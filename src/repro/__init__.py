@@ -1,0 +1,12 @@
+"""Colony: highly-available, consistent group collaboration at the edge.
+
+A faithful Python reproduction of the Middleware 2021 paper by Toumlilt,
+Sutra and Shapiro.  Public entry points:
+
+* :mod:`repro.api` — the client API (sessions, buckets, transactions);
+* :mod:`repro.bench` — topology deployment and benchmark harness;
+* :mod:`repro.crdt` — the operation-based CRDT library;
+* :mod:`repro.sim` — the deterministic simulation substrate.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""Public client API: connections, handles, transactions."""
+
+from .client import Connection, TransactionBuilder
+from .handles import (CounterHandle, DWFlagHandle, FlagHandle, GSetHandle,
+                      MapHandle, MVRegisterHandle, ObjectHandle,
+                      ORMapHandle, PNCounterHandle, ReadDescriptor,
+                      RegisterHandle, RWSetHandle, SequenceHandle,
+                      SetHandle, UpdateDescriptor)
+
+__all__ = [
+    "Connection", "TransactionBuilder",
+    "ObjectHandle", "CounterHandle", "PNCounterHandle",
+    "RegisterHandle", "MVRegisterHandle",
+    "SetHandle", "GSetHandle", "RWSetHandle",
+    "MapHandle", "ORMapHandle", "SequenceHandle",
+    "FlagHandle", "DWFlagHandle",
+    "ReadDescriptor", "UpdateDescriptor",
+]

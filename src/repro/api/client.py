@@ -1,0 +1,195 @@
+"""The Colony client connection (paper section 6.1).
+
+A :class:`Connection` wraps any node that can execute transactions — a
+far-edge :class:`~repro.edge.EdgeNode`, a peer-group
+:class:`~repro.groups.GroupMember`, or a cache-less
+:class:`~repro.edge.CloudClient` — behind one API:
+
+    conn = Connection(node)
+    cnt = conn.counter("myCounter")
+    conn.update(cnt.increment(3))
+
+    tx = conn.start_transaction()
+    tx.update([gmap.register("a").assign(42)])
+    tx.read(gmap)
+    tx.commit(on_done=lambda values, stats: ...)
+
+All calls are asynchronous (the simulated network needs to run); results
+arrive through ``on_done`` callbacks, matching the promise style of the
+paper's TypeScript API.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from ..core.txn import ObjectKey
+from ..edge.cloud_client import CloudClient
+from ..edge.node import EdgeNode, TxnStats
+from .handles import (CounterHandle, DWFlagHandle, FlagHandle, GSetHandle,
+                      MapHandle, MVRegisterHandle, ObjectHandle,
+                      ORMapHandle, PNCounterHandle, ReadDescriptor,
+                      RegisterHandle, RWSetHandle, SequenceHandle,
+                      SetHandle, UpdateDescriptor)
+
+Node = Union[EdgeNode, CloudClient]
+DoneFn = Callable[[Any, TxnStats], None]
+
+
+class TransactionBuilder:
+    """A batch transaction: queue reads and updates, then commit."""
+
+    def __init__(self, connection: "Connection"):
+        self._connection = connection
+        self._reads: List[ReadDescriptor] = []
+        self._updates: List[UpdateDescriptor] = []
+        self._committed = False
+
+    def read(self, target: Union[ObjectHandle, ReadDescriptor]) \
+            -> "TransactionBuilder":
+        if isinstance(target, ObjectHandle):
+            target = target.read()
+        self._reads.append(target)
+        return self
+
+    def update(self, updates: Union[UpdateDescriptor,
+                                    Sequence[UpdateDescriptor]]) \
+            -> "TransactionBuilder":
+        if isinstance(updates, UpdateDescriptor):
+            updates = [updates]
+        self._updates.extend(updates)
+        return self
+
+    def commit(self, on_done: Optional[DoneFn] = None) -> None:
+        """Atomically commit: reads are returned, updates applied."""
+        if self._committed:
+            raise RuntimeError("transaction already committed")
+        self._committed = True
+        self._connection._execute(self._reads, self._updates, on_done)
+
+
+class Connection:
+    """A session bound to one Colony node."""
+
+    def __init__(self, node: Node):
+        self.node = node
+
+    # -- handle factories (the paper's datatype surface) ---------------------
+    def counter(self, name: str, bucket: str = "default") -> CounterHandle:
+        return CounterHandle(name, bucket)
+
+    def pncounter(self, name: str,
+                  bucket: str = "default") -> PNCounterHandle:
+        return PNCounterHandle(name, bucket)
+
+    def register(self, name: str,
+                 bucket: str = "default") -> RegisterHandle:
+        return RegisterHandle(name, bucket)
+
+    def mvregister(self, name: str,
+                   bucket: str = "default") -> MVRegisterHandle:
+        return MVRegisterHandle(name, bucket)
+
+    def set(self, name: str, bucket: str = "default") -> SetHandle:
+        return SetHandle(name, bucket)
+
+    def gset(self, name: str, bucket: str = "default") -> GSetHandle:
+        return GSetHandle(name, bucket)
+
+    def rwset(self, name: str, bucket: str = "default") -> RWSetHandle:
+        return RWSetHandle(name, bucket)
+
+    def gmap(self, name: str, bucket: str = "default") -> MapHandle:
+        return MapHandle(name, bucket)
+
+    def ormap(self, name: str, bucket: str = "default") -> ORMapHandle:
+        return ORMapHandle(name, bucket)
+
+    def sequence(self, name: str,
+                 bucket: str = "default") -> SequenceHandle:
+        return SequenceHandle(name, bucket)
+
+    def flag(self, name: str, bucket: str = "default") -> FlagHandle:
+        return FlagHandle(name, bucket)
+
+    # -- one-shot operations ---------------------------------------------------
+    def update(self, updates: Union[UpdateDescriptor,
+                                    Sequence[UpdateDescriptor]],
+               on_done: Optional[DoneFn] = None) -> None:
+        """Commit a transaction consisting only of updates."""
+        if isinstance(updates, UpdateDescriptor):
+            updates = [updates]
+        self._execute([], list(updates), on_done)
+
+    def read(self, target: Union[ObjectHandle, ReadDescriptor],
+             on_done: Optional[DoneFn] = None) -> None:
+        """Read one object in its own (read-only) transaction."""
+        if isinstance(target, ObjectHandle):
+            target = target.read()
+
+        def unwrap(values: Any, stats: TxnStats) -> None:
+            if on_done is not None:
+                value = values[0] if values else None
+                on_done(value, stats)
+
+        self._execute([target], [], unwrap)
+
+    def start_transaction(self) -> TransactionBuilder:
+        return TransactionBuilder(self)
+
+    def run(self, body, on_done: Optional[DoneFn] = None,
+            on_abort: Optional[Callable] = None) -> None:
+        """Run an interactive (generator) transaction on an edge node."""
+        if not isinstance(self.node, EdgeNode):
+            raise TypeError("interactive transactions require an edge"
+                            " node; cloud clients are batch-only")
+        self.node.run_transaction(body, on_done=on_done,
+                                  on_abort=on_abort)
+
+    def run_remote(self, reads: Sequence[Union[ObjectHandle,
+                                               ReadDescriptor]] = (),
+                   updates: Sequence[UpdateDescriptor] = (),
+                   on_done: Optional[DoneFn] = None,
+                   on_fail: Optional[Callable[[str], None]] = None) -> None:
+        """Migrate a transaction to the connected DC (paper section 3.9).
+
+        Useful for analytics or large queries: the transaction executes
+        in the core cloud against the client's own snapshot, so only
+        performance differs from running it locally.
+        """
+        if not isinstance(self.node, EdgeNode):
+            raise TypeError("transaction migration requires an edge node")
+        read_spec = [(r.key, r.type_name)
+                     for r in (h.read() if isinstance(h, ObjectHandle)
+                               else h for h in reads)]
+        update_spec = [(u.key, u.type_name, u.method, u.args)
+                       for u in updates]
+        self.node.run_remote_transaction(reads=read_spec,
+                                         updates=update_spec,
+                                         on_done=on_done, on_fail=on_fail)
+
+    # -- reactive subscriptions --------------------------------------------------
+    def subscribe(self, handle: ObjectHandle,
+                  callback: Callable[[ObjectKey], None]) -> None:
+        """Invoke ``callback`` whenever the object visibly changes."""
+        if not isinstance(self.node, EdgeNode):
+            raise TypeError("subscriptions require an edge node")
+        self.node.declare_interest(handle.key, handle.TYPE_NAME)
+        self.node.subscribe(handle.key, callback)
+
+    # -- interest management --------------------------------------------------------
+    def open_bucket(self, handles: Sequence[ObjectHandle]) -> None:
+        """Declare interest in (cache) a set of objects."""
+        if isinstance(self.node, EdgeNode):
+            for handle in handles:
+                self.node.declare_interest(handle.key, handle.TYPE_NAME)
+
+    # -- plumbing ----------------------------------------------------------------------
+    def _execute(self, reads: List[ReadDescriptor],
+                 updates: List[UpdateDescriptor],
+                 on_done: Optional[DoneFn]) -> None:
+        read_spec = [(r.key, r.type_name) for r in reads]
+        update_spec = [(u.key, u.type_name, u.method, u.args)
+                       for u in updates]
+        self.node.execute(reads=read_spec, updates=update_spec,
+                          on_done=on_done)

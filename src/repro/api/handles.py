@@ -1,0 +1,228 @@
+"""Typed object handles — the ergonomic face of the Colony API.
+
+Mirrors the paper's TypeScript API (Figure 3): handles name an object in a
+bucket and expose its update methods; calling one produces an
+:class:`UpdateDescriptor` which a connection commits inside a transaction:
+
+    cnt = conn.counter("myCounter")
+    conn.update(cnt.increment(3))
+
+    gmap = conn.gmap("myMap")
+    conn.update([gmap.register("a").assign(42),
+                 gmap.set("e").add_all([1, 2, 3, 4])])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from ..core.txn import ObjectKey
+
+DEFAULT_BUCKET = "default"
+
+
+@dataclass(frozen=True)
+class UpdateDescriptor:
+    """One prepared update: which object, which method, which arguments."""
+
+    key: ObjectKey
+    type_name: str
+    method: str
+    args: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ReadDescriptor:
+    key: ObjectKey
+    type_name: str
+
+
+class ObjectHandle:
+    """Base handle: names one CRDT object."""
+
+    TYPE_NAME = "abstract"
+
+    def __init__(self, name: str, bucket: str = DEFAULT_BUCKET):
+        self.key = ObjectKey(bucket, name)
+
+    def read(self) -> ReadDescriptor:
+        return ReadDescriptor(self.key, self.TYPE_NAME)
+
+    def _update(self, method: str, *args: Any) -> UpdateDescriptor:
+        return UpdateDescriptor(self.key, self.TYPE_NAME, method,
+                                tuple(args))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.key})"
+
+
+class CounterHandle(ObjectHandle):
+    TYPE_NAME = "counter"
+
+    def increment(self, amount: int = 1) -> UpdateDescriptor:
+        return self._update("increment", amount)
+
+    def decrement(self, amount: int = 1) -> UpdateDescriptor:
+        return self._update("decrement", amount)
+
+
+class PNCounterHandle(CounterHandle):
+    TYPE_NAME = "pncounter"
+
+
+class RegisterHandle(ObjectHandle):
+    TYPE_NAME = "lwwregister"
+
+    def assign(self, value: Any) -> UpdateDescriptor:
+        return self._update("assign", value)
+
+
+class MVRegisterHandle(RegisterHandle):
+    TYPE_NAME = "mvregister"
+
+
+class SetHandle(ObjectHandle):
+    TYPE_NAME = "orset"
+
+    def add(self, value: Any) -> UpdateDescriptor:
+        return self._update("add", value)
+
+    def add_all(self, values) -> UpdateDescriptor:
+        return self._update("add_all", list(values))
+
+    def remove(self, value: Any) -> UpdateDescriptor:
+        return self._update("remove", value)
+
+    def clear(self) -> UpdateDescriptor:
+        return self._update("clear")
+
+
+class GSetHandle(ObjectHandle):
+    TYPE_NAME = "gset"
+
+    def add(self, value: Any) -> UpdateDescriptor:
+        return self._update("add", value)
+
+    def add_all(self, values) -> UpdateDescriptor:
+        return self._update("add_all", list(values))
+
+
+class RWSetHandle(ObjectHandle):
+    TYPE_NAME = "rwset"
+
+    def add(self, value: Any) -> UpdateDescriptor:
+        return self._update("add", value)
+
+    def remove(self, value: Any) -> UpdateDescriptor:
+        return self._update("remove", value)
+
+
+class SequenceHandle(ObjectHandle):
+    TYPE_NAME = "rga"
+
+    def insert(self, index: int, value: Any) -> UpdateDescriptor:
+        return self._update("insert", index, value)
+
+    def append(self, value: Any) -> UpdateDescriptor:
+        return self._update("append", value)
+
+    def delete(self, index: int) -> UpdateDescriptor:
+        return self._update("delete", index)
+
+
+class FlagHandle(ObjectHandle):
+    TYPE_NAME = "ewflag"
+
+    def enable(self) -> UpdateDescriptor:
+        return self._update("enable")
+
+    def disable(self) -> UpdateDescriptor:
+        return self._update("disable")
+
+
+class DWFlagHandle(FlagHandle):
+    TYPE_NAME = "dwflag"
+
+
+class _NestedHandle:
+    """A field inside a map handle; produces map-level update descriptors."""
+
+    def __init__(self, owner: "MapHandle", field: str, type_name: str):
+        self._owner = owner
+        self._field = field
+        self._type = type_name
+
+    def _update(self, method: str, *args: Any) -> UpdateDescriptor:
+        return UpdateDescriptor(self._owner.key, self._owner.TYPE_NAME,
+                                "update",
+                                (self._field, self._type, method) + args)
+
+    # register-like
+    def assign(self, value: Any) -> UpdateDescriptor:
+        return self._update("assign", value)
+
+    # counter-like
+    def increment(self, amount: int = 1) -> UpdateDescriptor:
+        return self._update("increment", amount)
+
+    def decrement(self, amount: int = 1) -> UpdateDescriptor:
+        return self._update("decrement", amount)
+
+    # set-like
+    def add(self, value: Any) -> UpdateDescriptor:
+        return self._update("add", value)
+
+    def add_all(self, values) -> UpdateDescriptor:
+        return self._update("add_all", list(values))
+
+    def remove(self, value: Any) -> UpdateDescriptor:
+        return self._update("remove", value)
+
+    # sequence-like
+    def insert(self, index: int, value: Any) -> UpdateDescriptor:
+        return self._update("insert", index, value)
+
+    def append(self, value: Any) -> UpdateDescriptor:
+        return self._update("append", value)
+
+    def delete(self, index: int) -> UpdateDescriptor:
+        return self._update("delete", index)
+
+    # flag-like
+    def enable(self) -> UpdateDescriptor:
+        return self._update("enable")
+
+    def disable(self) -> UpdateDescriptor:
+        return self._update("disable")
+
+
+class MapHandle(ObjectHandle):
+    """Grow-only map of nested CRDTs (``gmap`` in the paper's example)."""
+
+    TYPE_NAME = "gmap"
+
+    def register(self, field: str) -> _NestedHandle:
+        return _NestedHandle(self, field, "lwwregister")
+
+    def mvregister(self, field: str) -> _NestedHandle:
+        return _NestedHandle(self, field, "mvregister")
+
+    def counter(self, field: str) -> _NestedHandle:
+        return _NestedHandle(self, field, "counter")
+
+    def set(self, field: str) -> _NestedHandle:
+        return _NestedHandle(self, field, "orset")
+
+    def sequence(self, field: str) -> _NestedHandle:
+        return _NestedHandle(self, field, "rga")
+
+    def flag(self, field: str) -> _NestedHandle:
+        return _NestedHandle(self, field, "ewflag")
+
+
+class ORMapHandle(MapHandle):
+    TYPE_NAME = "ormap"
+
+    def remove(self, field: str) -> UpdateDescriptor:
+        return self._update("remove", field)

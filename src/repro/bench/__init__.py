@@ -1,0 +1,24 @@
+"""Benchmark harness: deployments, metrics, per-figure scenarios."""
+
+from .harness import MODES, Deployment, DeploymentConfig
+from .metrics import (LatencySummary, TimelinePoint, bucket_timeline,
+                      percentile, served_by_breakdown, summarise,
+                      throughput, timeline)
+from .scenarios import (CommitVariantRow, Fig4Point, KStabilityRow,
+                        MetadataRow, TimelineResult,
+                        ablation_commit_variant, ablation_kstability,
+                        ablation_metadata, fig4_curve, fig4_point,
+                        fig5_dc_disconnection, fig6_peer_disconnection,
+                        fig7_migration)
+
+__all__ = [
+    "Deployment", "DeploymentConfig", "MODES",
+    "LatencySummary", "TimelinePoint", "summarise", "throughput",
+    "timeline", "bucket_timeline", "percentile", "served_by_breakdown",
+    "Fig4Point", "fig4_point", "fig4_curve",
+    "TimelineResult", "fig5_dc_disconnection", "fig6_peer_disconnection",
+    "fig7_migration",
+    "KStabilityRow", "ablation_kstability",
+    "CommitVariantRow", "ablation_commit_variant",
+    "MetadataRow", "ablation_metadata",
+]

@@ -1,0 +1,101 @@
+"""Latency/throughput aggregation for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..edge.node import TxnStats
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a pre-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(math.ceil(q / 100.0 * len(sorted_values))) - 1))
+    return sorted_values[rank]
+
+
+@dataclass
+class LatencySummary:
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean_ms:.3f}ms"
+                f" p50={self.p50_ms:.3f} p95={self.p95_ms:.3f}"
+                f" p99={self.p99_ms:.3f} max={self.max_ms:.3f}")
+
+
+def summarise(stats: Iterable[TxnStats],
+              since: float = 0.0,
+              until: Optional[float] = None,
+              include_aborted: bool = False) -> LatencySummary:
+    """Latency summary over the records inside the time window."""
+    lat = sorted(s.latency for s in stats
+                 if s.end >= since
+                 and (until is None or s.end <= until)
+                 and (include_aborted or not s.aborted))
+    if not lat:
+        return LatencySummary(0, float("nan"), float("nan"),
+                              float("nan"), float("nan"), float("nan"))
+    return LatencySummary(
+        count=len(lat),
+        mean_ms=sum(lat) / len(lat),
+        p50_ms=percentile(lat, 50),
+        p95_ms=percentile(lat, 95),
+        p99_ms=percentile(lat, 99),
+        max_ms=lat[-1],
+    )
+
+
+def throughput(stats: Iterable[TxnStats], since: float,
+               until: float) -> float:
+    """Completed transactions per second within the window."""
+    count = sum(1 for s in stats
+                if since <= s.end <= until and not s.aborted)
+    window_s = (until - since) / 1000.0
+    return count / window_s if window_s > 0 else float("nan")
+
+
+def served_by_breakdown(stats: Iterable[TxnStats]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for s in stats:
+        out[s.served_by] = out.get(s.served_by, 0) + 1
+    return out
+
+
+@dataclass
+class TimelinePoint:
+    """One transaction on a latency-vs-time plot (Figures 5-7)."""
+
+    at_ms: float
+    latency_ms: float
+    served_by: str
+
+
+def timeline(stats: Iterable[TxnStats]) -> List[TimelinePoint]:
+    return sorted((TimelinePoint(s.end, s.latency, s.served_by)
+                   for s in stats if not s.aborted),
+                  key=lambda p: p.at_ms)
+
+
+def bucket_timeline(points: Sequence[TimelinePoint], bucket_ms: float,
+                    served_by: Optional[str] = None) \
+        -> List[Tuple[float, float]]:
+    """(bucket centre, mean latency) series — one plot line."""
+    buckets: Dict[int, List[float]] = {}
+    for point in points:
+        if served_by is not None and point.served_by != served_by:
+            continue
+        buckets.setdefault(int(point.at_ms // bucket_ms),
+                           []).append(point.latency_ms)
+    return [(index * bucket_ms + bucket_ms / 2.0,
+             sum(values) / len(values))
+            for index, values in sorted(buckets.items())]

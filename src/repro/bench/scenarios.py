@@ -1,0 +1,441 @@
+"""Benchmark scenarios: one function per paper figure, plus ablations.
+
+Each function builds a deterministic simulation, drives the ColonyChat
+workload, and returns plain data (series of points / summary rows) that the
+``benchmarks/`` suite prints and shape-checks against the paper's claims.
+Parameters default to scaled-down sizes so a full run stays fast; the paper
+scale is reachable by passing larger values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..api.client import Connection
+from ..chat.app import ChatApp
+from ..edge.node import EdgeNode
+from ..groups.peergroup import GroupMember
+from ..sim.network import CELLULAR, LAN
+from ..workload.driver import ClosedLoopDriver
+from ..workload.trace import MattermostTrace, TraceConfig
+from .harness import Deployment, DeploymentConfig
+from .metrics import (TimelinePoint, summarise, throughput,
+                      timeline)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: throughput vs response time, 6 configurations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig4Point:
+    mode: str
+    n_dcs: int
+    n_clients: int
+    throughput_tps: float
+    mean_latency_ms: float
+    p99_latency_ms: float
+
+
+def _small_trace(n_users: int, seed: int,
+                 n_workspaces: int = 1,
+                 channels: int = 10) -> MattermostTrace:
+    return MattermostTrace(TraceConfig(
+        n_users=n_users, n_workspaces=n_workspaces,
+        channels_per_workspace=channels,
+        big_workspace_users=n_users, seed=seed))
+
+
+def fig4_point(mode: str, n_dcs: int, n_clients: int,
+               measure_ms: float = 4000.0, warm_ms: float = 2000.0,
+               think_time_ms: float = 10.0, seed: int = 7) -> Fig4Point:
+    """One point of the throughput/latency curve for one configuration."""
+    trace = _small_trace(n_clients, seed)
+    config = DeploymentConfig(mode=mode, n_dcs=n_dcs,
+                              n_clients=n_clients, seed=seed)
+    deployment = Deployment(config, trace)
+    deployment.warm_up(warm_ms)
+    driver = ClosedLoopDriver(deployment.sim, trace,
+                              [(u, a) for u, _n, a
+                               in deployment.clients],
+                              think_time_ms=think_time_ms)
+    driver.start()
+    start = deployment.sim.now
+    deployment.sim.run_for(measure_ms)
+    end = deployment.sim.now
+    stats = deployment.all_stats()
+    summary = summarise(stats, since=start, until=end)
+    tput = throughput(stats, start, end)
+    return Fig4Point(mode, n_dcs, n_clients, tput,
+                     summary.mean_ms, summary.p99_ms)
+
+
+def fig4_curve(mode: str, n_dcs: int,
+               client_ladder: Tuple[int, ...] = (4, 8, 16, 32),
+               **kwargs) -> List[Fig4Point]:
+    return [fig4_point(mode, n_dcs, n, **kwargs) for n in client_ladder]
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-7 share a topology: one DC, a peer group, solo edge users
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TimelineResult:
+    """Latency timeline split by population, plus phase boundaries."""
+
+    points: Dict[str, List[TimelinePoint]]
+    disconnect_at_ms: float
+    reconnect_at_ms: float
+    duration_ms: float
+
+
+class _Fig567World:
+    """One workspace, 36 users: 12 in a peer group, 24 independent."""
+
+    def __init__(self, n_group: int = 12, n_solo: int = 24,
+                 seed: int = 11, cache_coverage: float = 0.9):
+        self.trace = _small_trace(n_group + n_solo, seed,
+                                  channels=12)
+        config = DeploymentConfig(mode="colony", n_dcs=1,
+                                  n_clients=n_group, group_size=n_group,
+                                  cache_coverage=cache_coverage, seed=seed)
+        self.deployment = Deployment(config, self.trace)
+        self.sim = self.deployment.sim
+        self.group = self.deployment.groups[0]
+        # Independent (SwiftCloud-style) users share the workspace.
+        rng = random.Random(seed * 131)
+        self.solo: List[Tuple[str, EdgeNode, ChatApp]] = []
+        for user in self.trace.users[n_group:n_group + n_solo]:
+            node_id = f"solo/{user}"
+            node = self.sim.spawn(EdgeNode, node_id, dc_id="dc0",
+                                  user=user)
+            self.sim.network.set_link(node_id, "dc0", CELLULAR)
+            app = ChatApp(Connection(node), user)
+            for workspace in self.trace.user_workspaces[user]:
+                keep = [c for c in self.trace.channels[workspace]
+                        if rng.random() < cache_coverage]
+                app.open_workspace(workspace, keep)
+            node.connect()
+            self.solo.append((user, node, app))
+
+    def all_apps(self) -> List[Tuple[str, ChatApp]]:
+        return ([(u, a) for u, _n, a in self.deployment.clients]
+                + [(u, a) for u, _n, a in self.solo])
+
+    def run_workload(self, duration_ms: float,
+                     think_time_ms: float = 150.0) -> ClosedLoopDriver:
+        driver = ClosedLoopDriver(self.sim, self.trace, self.all_apps(),
+                                  think_time_ms=think_time_ms)
+        driver.start()
+        self.sim.run_for(duration_ms)
+        return driver
+
+
+def _shifted(stats, t0: float) -> List[TimelinePoint]:
+    """Timeline with t=0 at the workload start (after warm-up)."""
+    return [TimelinePoint(p.at_ms - t0, p.latency_ms, p.served_by)
+            for p in timeline(stats) if p.at_ms >= t0]
+
+
+def fig5_dc_disconnection(duration_ms: float = 70_000.0,
+                          disconnect_at: float = 25_000.0,
+                          reconnect_at: float = 45_000.0,
+                          seed: int = 11) -> TimelineResult:
+    """The peer group's sync point loses (then regains) its DC link."""
+    world = _Fig567World(seed=seed)
+    world.deployment.warm_up(2000.0)
+    sim = world.sim
+    t0 = sim.now
+    parent = world.group[0]
+    sim.loop.schedule(disconnect_at,
+                      lambda: sim.network.partition(parent.node_id, "dc0"))
+    sim.loop.schedule(reconnect_at,
+                      lambda: sim.network.heal(parent.node_id, "dc0"))
+    world.run_workload(duration_ms)
+    group_stats = [s for _u, n, _a in world.deployment.clients
+                   for s in n.txn_stats]
+    solo_stats = [s for _u, n, _a in world.solo for s in n.txn_stats]
+    return TimelineResult(
+        points={"group": _shifted(group_stats, t0),
+                "solo": _shifted(solo_stats, t0)},
+        disconnect_at_ms=disconnect_at, reconnect_at_ms=reconnect_at,
+        duration_ms=duration_ms)
+
+
+def fig6_peer_disconnection(duration_ms: float = 70_000.0,
+                            disconnect_at: float = 25_000.0,
+                            reconnect_at: float = 45_000.0,
+                            seed: int = 12) -> TimelineResult:
+    """One user drops out of its peer group and reconnects 20 s later."""
+    world = _Fig567World(seed=seed, cache_coverage=1.0)
+    world.deployment.warm_up(2000.0)
+    sim = world.sim
+    t0 = sim.now
+    victim = world.group[-1]
+
+    def cut() -> None:
+        victim.disconnect_from_group()
+        for other in world.group:
+            if other is not victim:
+                sim.network.partition(victim.node_id, other.node_id)
+
+    def heal() -> None:
+        for other in world.group:
+            if other is not victim:
+                sim.network.heal(victim.node_id, other.node_id)
+        victim.reconnect_to_group()
+
+    sim.loop.schedule(disconnect_at, cut)
+    sim.loop.schedule(reconnect_at, heal)
+    world.run_workload(duration_ms)
+    victim_stats = list(victim.txn_stats)
+    rest_stats = [s for _u, n, _a in world.deployment.clients
+                  if n is not victim for s in n.txn_stats]
+    return TimelineResult(
+        points={"victim": _shifted(victim_stats, t0),
+                "group": _shifted(rest_stats, t0)},
+        disconnect_at_ms=disconnect_at, reconnect_at_ms=reconnect_at,
+        duration_ms=duration_ms)
+
+
+def fig7_migration(duration_ms: float = 70_000.0,
+                   join_at: float = 45_000.0,
+                   seed: int = 13) -> TimelineResult:
+    """A mobile client with an invalid cache joins the peer group."""
+    world = _Fig567World(seed=seed)
+    world.deployment.warm_up(2000.0)
+    sim = world.sim
+    t0 = sim.now
+    group = world.group
+    parent = group[0]
+    # The migrating client: same workspace, completely cold cache.
+    user = world.trace.users[-1]
+    node = sim.spawn(GroupMember, f"mobile/{user}", dc_id="dc0",
+                     group_id=parent.group_id, parent_id=parent.node_id,
+                     user=user)
+    app = ChatApp(Connection(node), user)
+    for member in group:
+        sim.network.set_link(node.node_id, member.node_id, LAN)
+    sim.loop.schedule(join_at, node.join_group)
+
+    driver = ClosedLoopDriver(sim, world.trace, world.all_apps(),
+                              think_time_ms=150.0)
+    driver.start()
+    # The mobile client only starts transacting once in the group.
+    mobile_driver = ClosedLoopDriver(sim, world.trace, [(user, app)],
+                                     think_time_ms=150.0)
+    sim.loop.schedule(join_at + 50.0, mobile_driver.start)
+    sim.run_for(duration_ms)
+
+    group_stats = [s for _u, n, _a in world.deployment.clients
+                   for s in n.txn_stats]
+    return TimelineResult(
+        points={"mobile": _shifted(node.txn_stats, t0),
+                "group": _shifted(group_stats, t0)},
+        disconnect_at_ms=join_at, reconnect_at_ms=join_at,
+        duration_ms=duration_ms)
+
+
+# ---------------------------------------------------------------------------
+# Ablation A1: the K-stability trade-off (section 3.8)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class KStabilityRow:
+    k: int
+    visibility_lag_ms: float        # commit -> remote-edge visibility
+    migration_rejections: int       # incompatible sessions on migration
+
+
+def ablation_kstability(k: int, n_dcs: int = 3, updates: int = 30,
+                        migrations: int = 6, seed: int = 21) \
+        -> KStabilityRow:
+    """Measure edge-visibility lag and migration compatibility vs K.
+
+    Topology stresses the paper's trade-off (section 3.8): the edge links
+    are fast (the client is well connected), dc0-dc1 are close (10 ms) and
+    dc2 is far (60 ms).  Low K makes updates visible quickly but lets the
+    client run ahead of the DC it migrates to (incompatible sessions);
+    K = N gates visibility on the slowest DC.
+    """
+    from ..core.txn import ObjectKey
+    from ..dc.datacenter import DataCenter
+    from ..sim.network import ETHERNET, LatencyModel
+    from ..sim.runtime import Simulation
+
+    far = LatencyModel(60.0, 2.0)
+    sim = Simulation(seed=seed, default_latency=LAN)
+    dc_ids = [f"dc{i}" for i in range(n_dcs)]
+    dcs = [sim.spawn(DataCenter, d,
+                     peer_dcs=[x for x in dc_ids if x != d],
+                     n_shards=1, k_target=k) for d in dc_ids]
+    for a_i, a in enumerate(dc_ids):
+        for b_i, b in enumerate(dc_ids):
+            if a < b:
+                slow = a_i >= 2 or b_i >= 2
+                sim.network.set_link(a, b, far if slow else ETHERNET)
+    key = ObjectKey("bench", "counter")
+    writer = sim.spawn(EdgeNode, "writer", dc_id="dc0")
+    reader = sim.spawn(EdgeNode, "reader", dc_id="dc0")
+    for node in (writer, reader):
+        node.declare_interest(key, "counter")
+        node.connect()
+    sim.run_for(1000.0)
+
+    lags: List[float] = []
+    expected = 0
+
+    def one_update(index: int) -> None:
+        def body(tx):
+            yield tx.update(key, "counter", "increment", 1)
+        writer.run_transaction(body)
+
+    for index in range(updates):
+        sim.loop.schedule(index * 400.0, lambda i=index: one_update(i))
+    # Sample visibility lag: poll the reader for each new value.
+    commit_times: Dict[int, float] = {}
+    seen_times: Dict[int, float] = {}
+
+    def poll() -> None:
+        value = reader.read_value(key, "counter")
+        if value and value not in seen_times:
+            seen_times[value] = sim.now
+
+    def record_commit() -> None:
+        value = writer.read_value(key, "counter")
+        if value and value not in commit_times:
+            commit_times[value] = sim.now
+
+    for t in range(0, int(updates * 400.0 + 4000.0), 2):
+        sim.loop.schedule(float(t), poll)
+        sim.loop.schedule(float(t), record_commit)
+    sim.run_for(updates * 400.0 + 4000.0)
+    for value, seen in seen_times.items():
+        if value in commit_times:
+            lags.append(seen - commit_times[value])
+
+    # Migration probe: hop the writer between the two close DCs right
+    # after committing, and count causally-incompatible session
+    # rejections (the writer's K-stable knowledge from the old DC may be
+    # ahead of the new DC when K is low).
+    rejections_before = sum(dc.stats["rejected"] for dc in dcs)
+    hop_targets = [dc_ids[(i + 1) % 2] for i in range(migrations)]
+
+    def hop(target: str) -> None:
+        def body(tx):
+            yield tx.update(key, "counter", "increment", 1)
+        writer.run_transaction(body)
+        # Migrate just after the fresh update becomes K-stable at the old
+        # DC and is pushed back — the window where, for low K, the writer
+        # knows more than the new DC does.
+        sim.loop.schedule(1.5, lambda: writer.migrate_to(target))
+
+    for index, target in enumerate(hop_targets):
+        sim.loop.schedule(index * 120.0, lambda t=target: hop(t))
+    sim.run_for(migrations * 120.0 + 4000.0)
+    rejections = sum(dc.stats["rejected"] for dc in dcs) \
+        - rejections_before
+    lag = sum(lags) / len(lags) if lags else float("nan")
+    return KStabilityRow(k, lag, rejections)
+
+
+# ---------------------------------------------------------------------------
+# Ablation A2: commit variants (section 5.1.4)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CommitVariantRow:
+    variant: str
+    mean_commit_latency_ms: float
+    aborts: int
+    commits: int
+
+
+def ablation_commit_variant(variant: str, n_members: int = 5,
+                            txns_per_member: int = 20,
+                            conflict_rate: float = 1.0,
+                            seed: int = 23) -> CommitVariantRow:
+    """Commit latency and aborts: consensus on vs off the critical path."""
+    from ..core.txn import ObjectKey
+    from ..dc.datacenter import DataCenter
+    from ..groups.peergroup import form_group
+    from ..sim.runtime import Simulation
+
+    sim = Simulation(seed=seed, default_latency=CELLULAR)
+    sim.spawn(DataCenter, "dc0", peer_dcs=[], n_shards=1, k_target=1)
+    members: List[GroupMember] = []
+    hot = ObjectKey("bench", "hot")
+    cold_keys = [ObjectKey("bench", f"cold{i}") for i in range(n_members)]
+    for i in range(n_members):
+        node = sim.spawn(GroupMember, f"m{i}", dc_id="dc0",
+                         group_id="g", parent_id="m0",
+                         commit_variant=variant)
+        node.declare_interest(hot, "counter")
+        for key in cold_keys:
+            node.declare_interest(key, "counter")
+        members.append(node)
+    for a in members:
+        for b in members:
+            if a.node_id < b.node_id:
+                sim.network.set_link(a.node_id, b.node_id, LAN)
+    form_group(members)
+    sim.run_for(1000.0)
+    # Warm every cache (one touch per key per member), then discard the
+    # warm-up statistics: the ablation measures steady-state commits.
+    for member in members:
+        for key in [hot] + cold_keys:
+            def warm_body(tx, k=key):
+                value = yield tx.read(k, "counter")
+                return value
+            member.run_transaction(warm_body)
+    sim.run_for(2000.0)
+    for member in members:
+        member.txn_stats.clear()
+
+    rng = random.Random(seed)
+    for member_index, member in enumerate(members):
+        for txn_index in range(txns_per_member):
+            if rng.random() < conflict_rate:
+                key = hot
+            else:
+                key = ObjectKey("bench", f"cold{member_index}")
+
+            def body(tx, k=key):
+                yield tx.update(k, "counter", "increment", 1)
+            # All members fire in the same instant each round, so
+            # conflicting transactions are genuinely concurrent.
+            sim.loop.schedule(
+                txn_index * 50.0,
+                (lambda m=member, b=body: m.run_transaction(b)))
+    sim.run_for(txns_per_member * 50.0 + 5000.0)
+
+    stats = [s for m in members for s in m.txn_stats
+             if not s.read_only]
+    commits = [s for s in stats if not s.aborted]
+    aborts = [s for s in stats if s.aborted]
+    mean = (sum(s.latency for s in commits) / len(commits)
+            if commits else float("nan"))
+    return CommitVariantRow(variant, mean, len(aborts), len(commits))
+
+
+# ---------------------------------------------------------------------------
+# Ablation A3: metadata size (sections 3.3-3.4)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MetadataRow:
+    n_dcs: int
+    n_replicas: int
+    colony_vector_bytes: int        # one entry per DC (this design)
+    per_replica_vector_bytes: int   # one entry per replica (Depot/PRACTI)
+
+
+def ablation_metadata(n_dcs: int, n_replicas: int,
+                      entry_bytes: int = 8) -> MetadataRow:
+    """Vector size: per-DC (Colony) vs per-replica (flat causal) design."""
+    return MetadataRow(n_dcs, n_replicas,
+                       colony_vector_bytes=entry_bytes * n_dcs,
+                       per_replica_vector_bytes=entry_bytes * n_replicas)

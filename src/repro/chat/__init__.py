@@ -1,0 +1,7 @@
+"""ColonyChat: the paper's benchmark application (section 7.1)."""
+
+from . import model
+from .app import ChatApp
+from .bots import ChannelBot
+
+__all__ = ["model", "ChatApp", "ChannelBot"]

@@ -1,0 +1,52 @@
+"""Bots: automated ColonyChat users (paper section 7.1).
+
+"A bot is a special kind of user.  It automatically triggers an action when
+it observes some event, or a specific message on a channel. [...] Bots play
+an important role in the benchmark, as they generate a large number of
+update transactions."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from .app import ChatApp
+
+
+class ChannelBot:
+    """Reacts to visible channel updates with probabilistic replies."""
+
+    def __init__(self, app: ChatApp, rng: random.Random,
+                 react_probability: float = 0.5,
+                 reply_templates: Optional[List[str]] = None,
+                 now_fn: Optional[Callable[[], float]] = None):
+        self.app = app
+        self.rng = rng
+        self.react_probability = react_probability
+        self.reply_templates = reply_templates or [
+            "ack", "on it", "done", "FYI: build green", "weather: sunny",
+        ]
+        self._now = now_fn or (lambda: 0.0)
+        self._watched: List[Tuple[str, str]] = []
+        self.reactions = 0
+        self._suppress = 0
+
+    def watch(self, workspace: str, channel: str) -> None:
+        """Subscribe the bot to a channel; reactions post back to it."""
+        self._watched.append((workspace, channel))
+        self.app.follow_channel(
+            workspace, channel,
+            lambda _ch: self._maybe_react(workspace, channel))
+
+    def _maybe_react(self, workspace: str, channel: str) -> None:
+        # Do not react to our own reactions (avoid feedback storms).
+        if self._suppress > 0:
+            self._suppress -= 1
+            return
+        if self.rng.random() >= self.react_probability:
+            return
+        self.reactions += 1
+        self._suppress += 1  # our own post will trigger one callback
+        text = self.rng.choice(self.reply_templates)
+        self.app.post_message(workspace, channel, text, at=self._now())

@@ -1,0 +1,31 @@
+"""Colony's core contribution: TCC+ metadata, journals and visibility.
+
+* :mod:`repro.core.clock` — per-DC vector timestamps and Lamport clocks;
+* :mod:`repro.core.dot` — unique transaction ids + duplicate suppression;
+* :mod:`repro.core.txn` — transactions with snapshot vectors and (possibly
+  symbolic, possibly multi-equivalent) commit stamps;
+* :mod:`repro.core.journal` — base version + update journal per object;
+* :mod:`repro.core.kstable` — K-stability gate for edge visibility;
+* :mod:`repro.core.visibility` — the monotonic visibility frontier;
+* :mod:`repro.core.compat` — causal-compatibility checks for migration.
+"""
+
+from .clock import LamportClock, VectorClock, lub
+from .compat import (causally_compatible, missing_dependencies,
+                     snapshot_compatible)
+from .dot import Dot, DotTracker
+from .journal import JournalEntry, ObjectJournal
+from .kstable import KStabilityTracker
+from .txn import CommitStamp, ObjectKey, Snapshot, Transaction, WriteOp
+from .visibility import (CausalityViolation, VisibleState, admissible,
+                         admit_ready)
+
+__all__ = [
+    "LamportClock", "VectorClock", "lub",
+    "Dot", "DotTracker",
+    "CommitStamp", "ObjectKey", "Snapshot", "Transaction", "WriteOp",
+    "JournalEntry", "ObjectJournal",
+    "KStabilityTracker",
+    "CausalityViolation", "VisibleState", "admissible", "admit_ready",
+    "causally_compatible", "snapshot_compatible", "missing_dependencies",
+]

@@ -1,0 +1,142 @@
+"""Vector timestamps sized by the number of data centres.
+
+Colony bounds causal metadata by treating each DC as one sequential process
+(an SI zone): a vector with one 8-byte entry per DC suffices to name a point
+in the inter-DC causal order (paper sections 3.3-3.4).  Component ``V[i]``
+counts the transactions committed at DC ``i``.
+
+``VectorClock`` is an immutable mapping from DC identifier to a monotonic
+integer; absent entries read as zero, so clocks over different DC sets
+compare sensibly (a freshly added DC starts at zero).
+
+``LamportClock`` backs transaction *dots*: a scalar clock merged on every
+receive, so that dot order is a linear extension of happened-before.  That
+is exactly what the paper's arbitration relation requires (CC invariant:
+happened-before is contained in arbitration), and it lets the journal apply
+updates sorted by dot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional
+
+
+class VectorClock(Mapping[Any, int]):
+    """Immutable vector timestamp keyed by DC id; missing entries are 0."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[Mapping[Any, int]] = None):
+        cleaned = {k: int(v) for k, v in (entries or {}).items() if v}
+        self._entries: Dict[Any, int] = cleaned
+
+    # -- Mapping interface ---------------------------------------------------
+    def __getitem__(self, key: Any) -> int:
+        return self._entries.get(key, 0)
+
+    def get(self, key: Any, default: int = 0) -> int:
+        return self._entries.get(key, default)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    # -- lattice operations ----------------------------------------------------
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Least upper bound: component-wise maximum (paper section 3.4)."""
+        merged = dict(self._entries)
+        for key, val in other._entries.items():
+            if val > merged.get(key, 0):
+                merged[key] = val
+        return VectorClock(merged)
+
+    def advance(self, key: Any, value: Optional[int] = None) -> "VectorClock":
+        """Copy with ``key`` advanced to ``value`` (default: +1)."""
+        new_value = self[key] + 1 if value is None else int(value)
+        if new_value < self[key]:
+            raise ValueError(
+                f"clock entry {key!r} may not move backwards"
+                f" ({self[key]} -> {new_value})")
+        entries = dict(self._entries)
+        entries[key] = new_value
+        return VectorClock(entries)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True when this clock is <= other component-wise."""
+        return all(val <= other[key] for key, val in self._entries.items())
+
+    def lt(self, other: "VectorClock") -> bool:
+        return self.leq(other) and self != other
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        return not self.leq(other) and not other.leq(self)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        return other.leq(self)
+
+    # -- misc -----------------------------------------------------------------
+    def byte_size(self, entry_bytes: int = 8) -> int:
+        """Wire size estimate; the paper uses 8 bytes per component."""
+        return entry_bytes * len(self._entries)
+
+    def to_dict(self) -> Dict[Any, int]:
+        return dict(self._entries)
+
+    @classmethod
+    def zero(cls) -> "VectorClock":
+        return cls()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(
+            self._entries.items(), key=lambda kv: repr(kv[0])))
+        return f"VC[{inner}]"
+
+
+def lub(clocks: Iterable[VectorClock]) -> VectorClock:
+    """Least upper bound of any number of clocks."""
+    result = VectorClock.zero()
+    for clock in clocks:
+        result = result.merge(clock)
+    return result
+
+
+class LamportClock:
+    """Scalar logical clock used to assign dot counters.
+
+    ``tick`` produces a fresh local timestamp; ``observe`` merges a remote
+    timestamp so that subsequent local events order after it.  This makes
+    dot order consistent with happened-before.
+    """
+
+    __slots__ = ("_time",)
+
+    def __init__(self, start: int = 0):
+        self._time = int(start)
+
+    def tick(self) -> int:
+        self._time += 1
+        return self._time
+
+    def observe(self, remote_time: int) -> None:
+        if remote_time > self._time:
+            self._time = remote_time
+
+    @property
+    def time(self) -> int:
+        return self._time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LamportClock({self._time})"

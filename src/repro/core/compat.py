@@ -1,0 +1,46 @@
+"""Causal-compatibility checks used by migration (paper section 3.8).
+
+An edge node migrating from DC *i* to DC *j* is *causally compatible* with
+*j* when every dependency of its state is already present at *j*; otherwise
+its transactions cannot be assigned commit vectors there and the node stays
+effectively disconnected until the missing dependencies arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .clock import VectorClock
+from .dot import Dot, DotTracker
+from .txn import Snapshot, Transaction
+
+
+def causally_compatible(edge_vector: VectorClock,
+                        edge_dots: Iterable[Dot],
+                        dc_vector: VectorClock,
+                        dc_dots: DotTracker) -> bool:
+    """Does the DC state include every dependency of the edge state?
+
+    ``edge_vector``/``edge_dots`` describe the edge node's dependencies: the
+    DC-committed prefix it has observed and the individual transactions it
+    depends on that may not be covered by the vector (e.g. received via a
+    peer group).  The DC must cover both.
+    """
+    if not edge_vector.leq(dc_vector):
+        return False
+    return all(dc_dots.seen(dot) for dot in edge_dots)
+
+
+def snapshot_compatible(snapshot: Snapshot, dc_vector: VectorClock,
+                        dc_dots: DotTracker) -> bool:
+    """Can a DC with this state accept a transaction with this snapshot?"""
+    return causally_compatible(snapshot.vector, snapshot.local_deps,
+                               dc_vector, dc_dots)
+
+
+def missing_dependencies(txns: Iterable[Transaction],
+                         dc_vector: VectorClock,
+                         dc_dots: DotTracker) -> list:
+    """Transactions whose snapshots the DC cannot yet satisfy."""
+    return [t for t in txns
+            if not snapshot_compatible(t.snapshot, dc_vector, dc_dots)]

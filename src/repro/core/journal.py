@@ -1,0 +1,165 @@
+"""Per-object versioned storage: base version + journal of updates.
+
+Paper section 4.1: "Colony stores an object persistently as a base version
+and a journal of updates since the base version.  To materialise an
+arbitrary object version, the cache first reads the base version from the
+store, and applies the missing updates from the journal.  Occasionally, the
+system advances the base version."
+
+Journal entries are applied in dot order.  Dots are Lamport-based
+(:mod:`repro.core.clock`), so dot order linearly extends happened-before;
+causally ordered updates therefore apply in order, and concurrent updates —
+whose CRDT effects commute — apply in the same (arbitrary but deterministic)
+order at every replica, giving strong convergence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import insort
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from ..crdt.base import OpBasedCRDT, Operation, new_crdt, state_from_dict
+from .dot import Dot
+from .txn import ObjectKey, Transaction
+
+
+class JournalEntry:
+    """One transaction's updates to one object."""
+
+    __slots__ = ("dot", "txn", "ops")
+
+    def __init__(self, txn: Transaction, ops: List[Operation]):
+        self.dot = txn.dot
+        self.txn = txn
+        self.ops = ops  # already tagged
+
+    def sort_key(self):
+        return self.dot.as_tuple()
+
+    def __lt__(self, other: "JournalEntry") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"JournalEntry({self.dot}, {len(self.ops)} ops)"
+
+
+# A predicate deciding whether a journal entry is visible to a reader.
+EntryFilter = Callable[[JournalEntry], bool]
+
+_JOURNAL_UIDS = itertools.count()
+
+
+class ObjectJournal:
+    """Base version + ordered journal for a single object."""
+
+    def __init__(self, key: ObjectKey, type_name: str):
+        self.key = key
+        self.type_name = type_name
+        self._base: OpBasedCRDT = new_crdt(type_name)
+        self._base_dots: Set[Dot] = set()
+        self._entries: List[JournalEntry] = []  # kept sorted by dot
+        self._index: Dict[Dot, JournalEntry] = {}
+        #: Bumped on every append/compaction; readers use it to cache
+        #: materialised versions.  ``uid`` distinguishes journal
+        #: incarnations after a drop/reinstall.
+        self.version = 0
+        self.uid = next(_JOURNAL_UIDS)
+
+    # -- writes ---------------------------------------------------------------
+    def append(self, txn: Transaction) -> bool:
+        """Record a transaction's tagged ops for this object.
+
+        Returns False when the transaction was already journalled (or
+        folded into the base), making delivery idempotent.
+        """
+        if txn.dot in self._index or txn.dot in self._base_dots:
+            return False
+        ops = [w.op for w in txn.tagged_writes() if w.key == self.key]
+        if not ops:
+            return False
+        entry = JournalEntry(txn, ops)
+        insort(self._entries, entry)
+        self._index[txn.dot] = entry
+        self.version += 1
+        return True
+
+    def has(self, dot: Dot) -> bool:
+        return dot in self._index or dot in self._base_dots
+
+    # -- reads ------------------------------------------------------------------
+    def materialise(self, visible: Optional[EntryFilter] = None) \
+            -> OpBasedCRDT:
+        """Build the object version exposing entries accepted by ``visible``.
+
+        With no filter, every journalled update is applied (the backend
+        view).  The visibility layer passes a TCC+/security filter.
+        """
+        state = self._base.clone()
+        for entry in self._entries:
+            if visible is None or visible(entry):
+                for op in entry.ops:
+                    state.apply(op)
+        return state
+
+    def visible_dots(self, visible: Optional[EntryFilter] = None) \
+            -> Set[Dot]:
+        """Dots contributing to the materialisation (incl. base)."""
+        dots = set(self._base_dots)
+        for entry in self._entries:
+            if visible is None or visible(entry):
+                dots.add(entry.dot)
+        return dots
+
+    # -- compaction ----------------------------------------------------------------
+    def advance_base(self, stable: EntryFilter) -> int:
+        """Fold entries accepted by ``stable`` into the base version.
+
+        Only a *prefix* in dot order may be folded: folding an entry while
+        an earlier-dot entry stays journalled would re-order application.
+        Returns the number of entries folded.
+        """
+        folded = 0
+        while self._entries and stable(self._entries[0]):
+            entry = self._entries.pop(0)
+            del self._index[entry.dot]
+            for op in entry.ops:
+                self._base.apply(op)
+            self._base_dots.add(entry.dot)
+            folded += 1
+        if folded:
+            self.version += 1
+        return folded
+
+    @property
+    def journal_length(self) -> int:
+        return len(self._entries)
+
+    @property
+    def base_dots(self) -> Set[Dot]:
+        """Dots already folded into the base version."""
+        return set(self._base_dots)
+
+    def entries(self) -> List[JournalEntry]:
+        return list(self._entries)
+
+    # -- (de)serialisation ------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Serialise the base version (journal entries travel as txns)."""
+        return {
+            "key": self.key.to_dict(),
+            "type": self.type_name,
+            "base": self._base.to_dict(),
+            "base_dots": [d.to_dict() for d in sorted(self._base_dots)],
+        }
+
+    @classmethod
+    def from_snapshot_state(cls, data: Dict[str, Any]) -> "ObjectJournal":
+        journal = cls(ObjectKey.from_dict(data["key"]), data["type"])
+        journal._base = state_from_dict(data["base"])
+        journal._base_dots = {Dot.from_dict(d) for d in data["base_dots"]}
+        return journal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ObjectJournal({self.key}, base_dots="
+                f"{len(self._base_dots)}, journal={len(self._entries)})")

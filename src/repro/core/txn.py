@@ -1,0 +1,231 @@
+"""Transaction records and their consistency metadata.
+
+Per paper section 3.5 a transaction ``T`` carries:
+
+* a *snapshot vector* ``T.S`` naming the DC-committed transactions it read
+  from, plus — at the edge — the dots of local transactions whose commit
+  vectors are still symbolic (the ``[alpha, beta, gamma]`` placeholders of
+  section 3.7);
+* a *commit stamp* ``T.C``: symbolic until some DC assigns a concrete
+  timestamp; after migration it may hold up to N equivalent entries, one per
+  DC that accepted the transaction, stored sparsely (section 3.8);
+* a unique *dot* ``T.D`` arbitrating concurrent transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..crdt.base import Operation
+from .clock import VectorClock
+from .dot import Dot
+
+
+@dataclass(frozen=True)
+class ObjectKey:
+    """Names a CRDT object: a bucket (namespace) and a key within it."""
+
+    bucket: str
+    key: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"bucket": self.bucket, "key": self.key}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "ObjectKey":
+        return cls(data["bucket"], data["key"])
+
+    def __repr__(self) -> str:
+        return f"{self.bucket}/{self.key}"
+
+
+class Snapshot:
+    """A causally closed read point: DC vector + unacknowledged local dots.
+
+    ``vector`` bounds the DC-committed transactions included; ``local_deps``
+    are edge-local transactions included by dot because their commit vectors
+    are still symbolic.  The pair realises read-my-writes (section 3.8).
+    """
+
+    __slots__ = ("vector", "local_deps")
+
+    def __init__(self, vector: VectorClock,
+                 local_deps: Iterable[Dot] = ()):
+        self.vector = vector
+        self.local_deps: FrozenSet[Dot] = frozenset(local_deps)
+
+    def satisfied_by(self, state_vector: VectorClock,
+                     known_dots) -> bool:
+        """Can a node with this state serve every read of the snapshot?
+
+        ``known_dots`` is anything supporting ``seen(dot)`` (a DotTracker)
+        or ``__contains__``.
+        """
+        if not self.vector.leq(state_vector):
+            return False
+        if hasattr(known_dots, "seen"):
+            return all(known_dots.seen(d) for d in self.local_deps)
+        return all(d in known_dots for d in self.local_deps)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"vector": self.vector.to_dict(),
+                "local_deps": [d.to_dict() for d in sorted(self.local_deps)]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Snapshot":
+        return cls(VectorClock(data["vector"]),
+                   [Dot.from_dict(d) for d in data["local_deps"]])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Snapshot):
+            return NotImplemented
+        return (self.vector == other.vector
+                and self.local_deps == other.local_deps)
+
+    def __hash__(self) -> int:
+        return hash((self.vector, self.local_deps))
+
+    def __repr__(self) -> str:
+        if self.local_deps:
+            return f"Snap({self.vector} +{sorted(self.local_deps)})"
+        return f"Snap({self.vector})"
+
+
+class CommitStamp:
+    """Commit timestamp; symbolic until at least one DC accepts the txn.
+
+    ``entries`` maps each accepting DC to the timestamp it assigned.  All
+    entries denote the *same* point of the causal order (the paper declares
+    them equivalent); storing only significant components realises the
+    memory optimisation of section 3.8.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Optional[Dict[str, int]] = None):
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @property
+    def is_symbolic(self) -> bool:
+        return not self.entries
+
+    def add_entry(self, dc_id: str, timestamp: int) -> None:
+        existing = self.entries.get(dc_id)
+        if existing is not None and existing != timestamp:
+            raise ValueError(
+                f"DC {dc_id} already assigned timestamp {existing}")
+        self.entries[dc_id] = timestamp
+
+    def included_in(self, state_vector: VectorClock) -> bool:
+        """True when any equivalent entry is covered by ``state_vector``."""
+        return any(state_vector[dc] >= ts
+                   for dc, ts in self.entries.items())
+
+    def as_vector(self, snapshot_vector: VectorClock) -> VectorClock:
+        """Full commit vector: the snapshot advanced at the accepting DCs."""
+        vector = snapshot_vector
+        for dc, ts in self.entries.items():
+            if ts > vector[dc]:
+                vector = vector.advance(dc, ts)
+        return vector
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"entries": dict(self.entries)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CommitStamp":
+        return cls(data["entries"])
+
+    def copy(self) -> "CommitStamp":
+        return CommitStamp(self.entries)
+
+    def __repr__(self) -> str:
+        if self.is_symbolic:
+            return "Commit(symbolic)"
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(self.entries.items()))
+        return f"Commit({inner})"
+
+
+@dataclass
+class WriteOp:
+    """One CRDT update within a transaction."""
+
+    key: ObjectKey
+    op: Operation
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"key": self.key.to_dict(), "op": self.op.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WriteOp":
+        return cls(ObjectKey.from_dict(data["key"]),
+                   Operation.from_dict(data["op"]))
+
+
+@dataclass
+class Transaction:
+    """A committed update transaction travelling through the system."""
+
+    dot: Dot
+    origin: str
+    snapshot: Snapshot
+    commit: CommitStamp
+    writes: List[WriteOp] = field(default_factory=list)
+    issuer: Optional[str] = None  # user identity, for ACL checks
+
+    def tag_for(self, index: int) -> Tuple[int, str, int]:
+        """Arbitration tag for the ``index``-th write (dot + position)."""
+        return (self.dot.counter, self.dot.origin, index)
+
+    def tagged_writes(self) -> List[WriteOp]:
+        """Writes with their operations tagged for CRDT application."""
+        return [WriteOp(w.key, w.op.with_tag(self.tag_for(i)))
+                for i, w in enumerate(self.writes)]
+
+    @property
+    def keys(self) -> List[ObjectKey]:
+        return [w.key for w in self.writes]
+
+    def touches(self, key: ObjectKey) -> bool:
+        return any(w.key == key for w in self.writes)
+
+    def conflicts_with(self, other: "Transaction") -> bool:
+        """Write-write interference, used by EPaxos and PSI commit."""
+        mine = {w.key for w in self.writes}
+        return any(w.key in mine for w in other.writes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "dot": self.dot.to_dict(),
+            "origin": self.origin,
+            "snapshot": self.snapshot.to_dict(),
+            "commit": self.commit.to_dict(),
+            "writes": [w.to_dict() for w in self.writes],
+            "issuer": self.issuer,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Transaction":
+        return cls(
+            dot=Dot.from_dict(data["dot"]),
+            origin=data["origin"],
+            snapshot=Snapshot.from_dict(data["snapshot"]),
+            commit=CommitStamp.from_dict(data["commit"]),
+            writes=[WriteOp.from_dict(w) for w in data["writes"]],
+            issuer=data.get("issuer"),
+        )
+
+    def byte_size(self) -> int:
+        """Rough wire-size estimate for metadata-overhead benchmarks."""
+        size = 16  # dot
+        size += 8 * len(self.snapshot.vector)
+        size += 16 * len(self.snapshot.local_deps)
+        size += 8 * max(1, len(self.commit.entries))
+        for write in self.writes:
+            size += len(repr(write.key)) + len(repr(write.op.payload))
+        return size
+
+    def __repr__(self) -> str:
+        return (f"Txn({self.dot} S={self.snapshot}"
+                f" C={self.commit} |w|={len(self.writes)})")

@@ -1,0 +1,146 @@
+"""The visibility layer (paper sections 3 and 4).
+
+Colony separates *state management* (the backend freely stores and ships
+journal entries) from *visibility* (what an application may observe).  A
+transaction becomes visible at a node only when:
+
+* its causal dependencies are visible (the snapshot vector is covered and
+  every symbolic local dependency is present) — the CC invariant;
+* at an edge node, it is K-stable or originated locally (read-my-writes);
+* it passes the security gate (ACL check, transitively — see
+  :mod:`repro.security.enforcement`).
+
+``VisibleState`` tracks the frontier a node exposes to readers: a state
+vector (LUB of admitted commit stamps) plus the set of admitted dots.  It is
+monotonic, which yields rollback-freedom.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from .clock import VectorClock
+from .dot import Dot
+from .journal import JournalEntry
+from .txn import Transaction
+
+
+# Extra admission predicate (K-stability, ACL...): txn -> allowed?
+AdmissionCheck = Callable[[Transaction], bool]
+
+
+class VisibleState:
+    """Monotonic visibility frontier of a node."""
+
+    def __init__(self, vector: Optional[VectorClock] = None):
+        self.vector = vector or VectorClock.zero()
+        self._dots: Set[Dot] = set()
+        self._txns: Dict[Dot, Transaction] = {}
+
+    # -- queries -----------------------------------------------------------
+    def includes_dot(self, dot: Dot) -> bool:
+        return dot in self._dots
+
+    def includes(self, txn: Transaction) -> bool:
+        """Is this transaction within the visible frontier?"""
+        if txn.dot in self._dots:
+            return True
+        return txn.commit.included_in(self.vector)
+
+    def dependencies_met(self, txn: Transaction) -> bool:
+        """CC admission: are all of txn's dependencies visible?"""
+        if not txn.snapshot.vector.leq(self.vector):
+            return False
+        return all(self._covers_dot(d) for d in txn.snapshot.local_deps)
+
+    def _covers_dot(self, dot: Dot) -> bool:
+        if dot in self._dots:
+            return True
+        txn = self._txns.get(dot)
+        if txn is not None:
+            return txn.commit.included_in(self.vector)
+        return False
+
+    # -- mutation ------------------------------------------------------------
+    def admit(self, txn: Transaction) -> bool:
+        """Make a transaction visible; requires dependencies to be met.
+
+        Returns False when the transaction was already visible.
+        """
+        if self.includes(txn):
+            return False
+        if not self.dependencies_met(txn):
+            raise CausalityViolation(
+                f"{txn.dot}: snapshot {txn.snapshot} not covered by"
+                f" frontier {self.vector}")
+        self._dots.add(txn.dot)
+        self._txns[txn.dot] = txn
+        if not txn.commit.is_symbolic:
+            self.vector = self.vector.merge(
+                txn.commit.as_vector(txn.snapshot.vector))
+        return True
+
+    def resolve_commit(self, txn: Transaction) -> None:
+        """A previously symbolic commit got its concrete stamp: merge it."""
+        if txn.dot in self._dots and not txn.commit.is_symbolic:
+            self.vector = self.vector.merge(
+                txn.commit.as_vector(txn.snapshot.vector))
+
+    def advance_vector(self, vector: VectorClock) -> None:
+        """Merge externally learned progress (e.g. the connected DC's)."""
+        self.vector = self.vector.merge(vector)
+
+    # -- journal filtering -----------------------------------------------------
+    def entry_filter(self) -> Callable[[JournalEntry], bool]:
+        """Filter exposing exactly the admitted journal entries."""
+        def visible(entry: JournalEntry) -> bool:
+            return (entry.dot in self._dots
+                    or entry.txn.commit.included_in(self.vector))
+        return visible
+
+    @property
+    def dots(self) -> Set[Dot]:
+        return set(self._dots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VisibleState({self.vector}, dots={len(self._dots)})"
+
+
+class CausalityViolation(Exception):
+    """An update was admitted before its dependencies (a bug if raised)."""
+
+
+def admissible(txn: Transaction, state: VisibleState,
+               checks: Iterable[AdmissionCheck] = ()) -> bool:
+    """Full admission test: causal dependencies plus extra gates."""
+    if not state.dependencies_met(txn):
+        return False
+    return all(check(txn) for check in checks)
+
+
+def admit_ready(pending: List[Transaction], state: VisibleState,
+                checks: Iterable[AdmissionCheck] = ()) -> List[Transaction]:
+    """Admit every pending transaction whose gates pass, to fixpoint.
+
+    Admitting one transaction can unlock another (its causal child), so we
+    iterate until no progress.  Returns the transactions admitted, in
+    admission order; ``pending`` is left holding the rest.
+    """
+    admitted: List[Transaction] = []
+    checks = tuple(checks)
+    progress = True
+    while progress:
+        progress = False
+        remaining: List[Transaction] = []
+        for txn in pending:
+            if state.includes(txn):
+                progress = True
+                continue
+            if admissible(txn, state, checks):
+                state.admit(txn)
+                admitted.append(txn)
+                progress = True
+            else:
+                remaining.append(txn)
+        pending[:] = remaining
+    return admitted

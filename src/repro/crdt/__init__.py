@@ -1,0 +1,29 @@
+"""Operation-based CRDT library (paper section 4).
+
+All types follow the prepare/effect split of :mod:`repro.crdt.base`:
+``prepare`` runs at the source and returns a self-contained
+:class:`~repro.crdt.base.Operation`; ``apply`` replays it anywhere.
+Causal delivery plus commutative concurrent effects give convergence.
+"""
+
+from .base import (CRDTError, OpBasedCRDT, Operation, Tag, crdt_type,
+                   new_crdt, register_crdt, registered_types,
+                   state_from_dict)
+from .counter import Counter, PNCounter
+from .flag import DWFlag, EWFlag
+from .map_ import GMap, ORMap
+from .register import LWWRegister, MVRegister
+from .sequence import RGASequence
+from .set import GSet, ORSet, RWSet
+
+__all__ = [
+    "CRDTError", "OpBasedCRDT", "Operation", "Tag",
+    "crdt_type", "new_crdt", "register_crdt", "registered_types",
+    "state_from_dict",
+    "Counter", "PNCounter",
+    "LWWRegister", "MVRegister",
+    "GSet", "ORSet", "RWSet",
+    "GMap", "ORMap",
+    "RGASequence",
+    "EWFlag", "DWFlag",
+]

@@ -1,0 +1,6 @@
+"""Data-centre SI zone: shard servers, sequencer, geo-replication."""
+
+from .datacenter import DataCenter
+from .server import ShardServer
+
+__all__ = ["DataCenter", "ShardServer"]

@@ -1,0 +1,681 @@
+"""The data-centre actor: one SI zone, one tree root.
+
+A DC (paper sections 3.4-3.6) is externally a *single sequential node*: its
+commits are totally ordered by a sequencer, so one vector component per DC
+suffices for causal metadata.  Internally it is a set of shard servers
+behind a consistent-hash ring; interactive in-DC transactions commit with a
+ClockSI-style two-phase commit across the touched shards.
+
+The DC also:
+
+* terminates edge sessions — tracks interest sets, seeds caches, assigns
+  concrete commit timestamps to asynchronously committed edge transactions
+  (section 3.7), and pushes K-stable updates back (section 3.8);
+* geo-replicates its commit stream to sibling DCs (full mesh, FIFO) and
+  tracks K-stability through gossiped acknowledgements;
+* executes migrated transactions on behalf of resource-poor edge nodes
+  (section 3.9) and serves the AntidoteDB-style baseline clients that have
+  no cache at all (section 7.3).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import (Any, Callable, Dict, Deque, List, Optional, Set,
+                    Tuple)
+
+from ..core.clock import LamportClock, VectorClock
+from ..core.dot import Dot, DotTracker
+from ..core.kstable import KStabilityTracker
+from ..core.txn import CommitStamp, ObjectKey, Snapshot, Transaction, WriteOp
+from ..crdt.base import state_from_dict
+from ..security.enforcement import SecurityEnforcer
+from ..sim.actor import Actor
+from ..sim.events import EventLoop
+from ..sim.network import Network
+from .messages import (CommitAck, CommitReject, DCSyncPing, EdgeCommit,
+                       EdgeCommitBatch, InterestChange,
+                       ObjectRequest, ObjectResponse, RemoteTxnReply,
+                       RemoteTxnRequest, Replicate, SessionAck, SessionOpen,
+                       ShardApply, ShardCommit, ShardCompactMsg,
+                       ShardPrepare, ShardRead, ShardReadReply, ShardVote,
+                       StabilityAck, UpdatePush)
+from .server import ShardServer
+from ..store.ring import HashRing
+
+
+class _EdgeSession:
+    """Per-connected-edge bookkeeping."""
+
+    __slots__ = ("edge_id", "interest")
+
+    def __init__(self, edge_id: str):
+        self.edge_id = edge_id
+        self.interest: Dict[ObjectKey, str] = {}
+
+
+class _PendingRemoteTxn:
+    """A remote transaction waiting for its shard reads."""
+
+    def __init__(self, request: RemoteTxnRequest, client: str,
+                 snapshot: Snapshot):
+        self.request = request
+        self.client = client
+        self.snapshot = snapshot
+        self.states: Dict[ObjectKey, Any] = {}
+        self.waiting_reads: Set[int] = set()
+
+
+class _Pending2PC:
+    """A transaction in its prepare phase across shards."""
+
+    def __init__(self, txn: Transaction, shards: List[str],
+                 on_done: Callable[[bool], None]):
+        self.txn = txn
+        self.shards = shards
+        self.votes: Set[str] = set()
+        self.on_done = on_done
+
+
+class DataCenter(Actor):
+    """A core-cloud data centre."""
+
+    #: CPU cost charged per client-facing request (remote transaction,
+    #: edge commit, object fetch).  Requests queue behind one another, so
+    #: the DC saturates under load like the paper's real servers do.
+    SERVICE_TIME_MS = 0.25
+    #: How often shard base versions are folded forward, and how far the
+    #: fold frontier lags the stable vector (in-flight reads at older
+    #: snapshots must still materialise).
+    COMPACT_PERIOD_MS = 500.0
+    #: Period of empty keepalive pushes (gap detection after partitions).
+    KEEPALIVE_MS = 1000.0
+    #: Anti-entropy between DCs: ping period and max resends per ping.
+    SYNC_PERIOD_MS = 500.0
+    SYNC_BATCH = 64
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 peer_dcs: Optional[List[str]] = None,
+                 n_shards: int = 4, k_target: int = 1,
+                 security: Optional[SecurityEnforcer] = None,
+                 service_time_ms: Optional[float] = None,
+                 rng: Optional[random.Random] = None):
+        super().__init__(node_id, loop, network, rng)
+        self.peer_dcs: List[str] = list(peer_dcs or [])
+        self.k_target = k_target
+        self.security = security
+        self.service_time_ms = (self.SERVICE_TIME_MS
+                                if service_time_ms is None
+                                else service_time_ms)
+        self._busy_until = 0.0
+        self._compact_frontier = VectorClock.zero()
+        self.every(self.COMPACT_PERIOD_MS, self._compact_shards,
+                   jitter=25.0)
+        self.every(self.KEEPALIVE_MS, self._keepalive, jitter=50.0)
+        self.every(self.SYNC_PERIOD_MS, self._sync_peers, jitter=30.0)
+
+        # -- shards -------------------------------------------------------
+        self.ring = HashRing()
+        self.shard_ids: List[str] = []
+        for i in range(n_shards):
+            shard_id = f"{node_id}/shard{i}"
+            ShardServer(shard_id, loop, network, rng=rng)
+            self.ring.add_server(shard_id)
+            self.shard_ids.append(shard_id)
+
+        # -- commit state -----------------------------------------------------
+        self._sequencer = 0
+        # Dots for transactions executed *in* this DC (section 3.6/3.9)
+        # come from a Lamport clock that observes every applied dot, so
+        # dot order keeps extending happened-before.
+        self.lamport = LamportClock()
+        self.state_vector = VectorClock.zero()
+        self.dots = DotTracker()
+        self._txn_by_dot: Dict[Dot, Transaction] = {}
+        # Per-origin-DC commit streams: ts -> dot, for stability frontiers.
+        self._stream_dots: Dict[str, Dict[int, Dot]] = {node_id: {}}
+        self.kstab = KStabilityTracker(k_target)
+        self.stable_vector = VectorClock.zero()
+        self._stable_dots: Set[Dot] = set()
+        # Replication receive queues, one FIFO per sibling DC stream.
+        self._repl_queues: Dict[str, Deque[Transaction]] = {}
+
+        # -- sessions / pending work -----------------------------------------------
+        self.sessions: Dict[str, _EdgeSession] = {}
+        self._next_request = 0
+        self._read_gathers: Dict[int, Tuple[Set[int], Dict[int, dict],
+                                            Callable[[List[dict]], None],
+                                            List[int]]] = {}
+        self._pending_2pc: Dict[int, _Pending2PC] = {}
+        self._next_txid = 0
+        self._remote_request_dots: Dict[Tuple[str, int], Dot] = {}
+        # Txns committed here but not yet K-stable, per edge push cursor:
+        self._pushed_stable = VectorClock.zero()
+
+        self.stats = {"committed": 0, "replicated_in": 0,
+                      "edge_commits": 0, "remote_txns": 0,
+                      "rejected": 0}
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, (EdgeCommit, EdgeCommitBatch,
+                                RemoteTxnRequest,
+                                ObjectRequest)) and self.service_time_ms:
+            # Client-facing work queues behind a single service pipeline.
+            cost = self.service_time_ms
+            if isinstance(message, EdgeCommitBatch):
+                cost *= max(1, len(message.txns))
+            self._busy_until = max(self._busy_until, self.now) + cost
+            delay = self._busy_until - self.now
+            self.loop.schedule(
+                delay, lambda: self._dispatch(message, sender))
+            return
+        self._dispatch(message, sender)
+
+    def _compact_shards(self) -> None:
+        """Tell shards to fold bases up to a lagged stable frontier."""
+        frontier = self._compact_frontier
+        if len(frontier):
+            message = ShardCompactMsg(frontier.to_dict())
+            for shard in self.shard_ids:
+                self.send(shard, message)
+        self._compact_frontier = self.stable_vector
+
+    def _dispatch(self, message: Any, sender: str) -> None:
+        if isinstance(message, SessionOpen):
+            self._on_session_open(message, sender)
+        elif isinstance(message, InterestChange):
+            self._on_interest_change(message, sender)
+        elif isinstance(message, ObjectRequest):
+            self._on_object_request(message, sender)
+        elif isinstance(message, EdgeCommit):
+            self._on_edge_commit(message, sender)
+        elif isinstance(message, EdgeCommitBatch):
+            for txn_dict in message.txns:
+                self._on_edge_commit(EdgeCommit(txn_dict), sender)
+        elif isinstance(message, RemoteTxnRequest):
+            self._on_remote_txn(message, sender)
+        elif isinstance(message, Replicate):
+            self._on_replicate(message, sender)
+        elif isinstance(message, StabilityAck):
+            self._on_stability_ack(message, sender)
+        elif isinstance(message, DCSyncPing):
+            self._on_sync_ping(message, sender)
+        elif isinstance(message, ShardReadReply):
+            self._on_shard_read_reply(message, sender)
+        elif isinstance(message, ShardVote):
+            self._on_shard_vote(message, sender)
+        else:
+            raise TypeError(f"DC {self.node_id}: unexpected message"
+                            f" {message!r}")
+
+    # ------------------------------------------------------------------
+    # sessions and interest sets
+    # ------------------------------------------------------------------
+    def _on_session_open(self, msg: SessionOpen, sender: str) -> None:
+        # Causal-compatibility check (section 3.8): the edge state must be
+        # included in ours, otherwise its transactions cannot be committed
+        # here and the session is refused until the gap closes.
+        edge_vector = VectorClock(msg.state_vector)
+        deps = [Dot.from_dict(d) for d in msg.local_deps]
+        compatible = edge_vector.leq(self.state_vector) and all(
+            self.dots.seen(d) or d.origin == msg.edge_id for d in deps)
+        if not compatible:
+            self.send(sender, SessionAck(self.node_id, (), {},
+                                         accepted=False,
+                                         reason="causally-incompatible"))
+            self.stats["rejected"] += 1
+            return
+        session = _EdgeSession(msg.edge_id)
+        for key_dict, type_name in msg.interest:
+            session.interest[ObjectKey.from_dict(key_dict)] = type_name
+        self.sessions[msg.edge_id] = session
+
+        # Seed no older than what the edge already observed: after a
+        # migration the edge may be ahead of our *stable* vector (though
+        # within our state vector, as checked above).
+        seed_vector = self.stable_vector.merge(edge_vector)
+        keys = list(session.interest.items())
+        if not keys:
+            self.send(sender, SessionAck(self.node_id, (),
+                                         seed_vector.to_dict()))
+            return
+
+        def done(states: List[dict]) -> None:
+            self.send(sender, SessionAck(self.node_id, tuple(states),
+                                         seed_vector.to_dict()))
+
+        self._gather_reads(keys, seed_vector, msg.local_deps, done)
+
+    def close_session(self, edge_id: str) -> None:
+        self.sessions.pop(edge_id, None)
+
+    def _on_interest_change(self, msg: InterestChange, sender: str) -> None:
+        session = self.sessions.get(msg.edge_id)
+        if session is None:
+            return
+        for key_dict in msg.remove:
+            session.interest.pop(ObjectKey.from_dict(key_dict), None)
+        added = [(ObjectKey.from_dict(k), t) for k, t in msg.add]
+        for key, type_name in added:
+            session.interest[key] = type_name
+        if added:
+            seed_vector = self.stable_vector.merge(
+                VectorClock(msg.state_vector))
+
+            def done(states: List[dict]) -> None:
+                self.send(sender, SessionAck(
+                    self.node_id, tuple(states), seed_vector.to_dict()))
+            self._gather_reads(added, seed_vector, (), done)
+
+    def _on_object_request(self, msg: ObjectRequest, sender: str) -> None:
+        key = ObjectKey.from_dict(msg.key)
+        seed_vector = self.stable_vector.merge(VectorClock(msg.state_vector))
+
+        def done(states: List[dict]) -> None:
+            self.send(sender, ObjectResponse(
+                states[0], seed_vector.to_dict()))
+
+        self._gather_reads([(key, msg.type_name)], seed_vector, (), done)
+
+    # ------------------------------------------------------------------
+    # shard read gathering
+    # ------------------------------------------------------------------
+    def _gather_reads(self, keys: List[Tuple[ObjectKey, str]],
+                      vector: VectorClock, extra_dots: Tuple[dict, ...],
+                      done: Callable[[List[dict]], None]) -> None:
+        """Fetch object states (at ``vector``) from their owning shards."""
+        request_ids: List[int] = []
+        for key, type_name in keys:
+            request_id = self._next_request
+            self._next_request += 1
+            request_ids.append(request_id)
+            shard = self.ring.lookup(key)
+            self.send(shard, ShardRead(request_id, key.to_dict(),
+                                       type_name, vector.to_dict(),
+                                       tuple(extra_dots)))
+        waiting = set(request_ids)
+        results: Dict[int, dict] = {}
+        for request_id in request_ids:
+            self._read_gathers[request_id] = (waiting, results, done,
+                                              request_ids)
+
+    def _on_shard_read_reply(self, msg: ShardReadReply, sender: str) -> None:
+        gather = self._read_gathers.pop(msg.request_id, None)
+        if gather is None:
+            return
+        waiting, results, done, order = gather
+        waiting.discard(msg.request_id)
+        results[msg.request_id] = msg.object_state
+        if not waiting:
+            done([results[r] for r in order])
+
+    # ------------------------------------------------------------------
+    # edge transaction commitment (section 3.7)
+    # ------------------------------------------------------------------
+    def _on_edge_commit(self, msg: EdgeCommit, sender: str) -> None:
+        txn = Transaction.from_dict(msg.txn)
+        self.stats["edge_commits"] += 1
+        if self.dots.seen(txn.dot):
+            # Duplicate (e.g. resent after migration, section 3.8): reply
+            # with the already assigned equivalent commit stamp.
+            known = self._txn_by_dot.get(txn.dot)
+            if known is not None:
+                self.send(sender, CommitAck(txn.dot.to_dict(),
+                                            dict(known.commit.entries)))
+            return
+        if not txn.snapshot.satisfied_by(self.state_vector, self.dots):
+            # The edge depends on transactions we have not yet received
+            # (possible after migration); it must retry later.
+            self.send(sender, CommitReject(txn.dot.to_dict(),
+                                           "missing-dependencies"))
+            self.stats["rejected"] += 1
+            return
+        self._commit_local(txn)
+        self.send(sender, CommitAck(txn.dot.to_dict(),
+                                    dict(txn.commit.entries)))
+
+    def _commit_local(self, txn: Transaction,
+                      notify_shards: bool = True) -> None:
+        """Sequence a transaction into this DC's commit stream."""
+        self._sequencer += 1
+        ts = self._sequencer
+        txn.commit.add_entry(self.node_id, ts)
+        self._stream_dots.setdefault(self.node_id, {})[ts] = txn.dot
+        self.lamport.observe(txn.dot.counter)
+        self.dots.observe(txn.dot)
+        self._txn_by_dot[txn.dot] = txn
+        self.state_vector = self.state_vector.advance(self.node_id, ts)
+        self.stats["committed"] += 1
+        if notify_shards:
+            # Already committed elsewhere (edge txn); store, no 2PC.
+            for shard, _keys in self.ring.partition(txn.keys).items():
+                self.send(shard, ShardApply(txn.to_dict()))
+        # K-stability bookkeeping and geo-replication.
+        self.kstab.record(txn.dot, {self.node_id})
+        payload = txn.to_dict()
+        holders = frozenset({self.node_id})
+        for dc in self.peer_dcs:
+            self.send(dc, Replicate(payload, holders),
+                      size_bytes=txn.byte_size())
+        self._advance_stability()
+
+    # ------------------------------------------------------------------
+    # remote (in-DC) transactions: baseline clients & migration (3.6/3.9)
+    # ------------------------------------------------------------------
+    def _on_remote_txn(self, msg: RemoteTxnRequest, sender: str) -> None:
+        self.stats["remote_txns"] += 1
+        if msg.snapshot is not None:
+            # Migration primes the snapshot with the client's own state
+            # (section 3.9); we raise it to at least our stable vector —
+            # still a superset of the client's dependencies, and it keeps
+            # shard reads above the compaction frontier.
+            client_vector = VectorClock(msg.snapshot)
+            snapshot = Snapshot(client_vector.merge(self.stable_vector),
+                                [Dot.from_dict(d) for d in msg.local_deps])
+            if not snapshot.satisfied_by(self.state_vector, self.dots):
+                self.send(sender, RemoteTxnReply(
+                    msg.request_id, (), False,
+                    reason="missing-dependencies"))
+                self.stats["rejected"] += 1
+                return
+        else:
+            snapshot = Snapshot(self.state_vector)
+        pending = _PendingRemoteTxn(msg, sender, snapshot)
+        keys: List[Tuple[ObjectKey, str]] = []
+        seen: Set[ObjectKey] = set()
+        for key_dict, type_name in msg.reads:
+            key = ObjectKey.from_dict(key_dict)
+            if key not in seen:
+                keys.append((key, type_name))
+                seen.add(key)
+        for key_dict, type_name, _method, _args in msg.updates:
+            key = ObjectKey.from_dict(key_dict)
+            if key not in seen:
+                keys.append((key, type_name))
+                seen.add(key)
+        if not keys:
+            self.send(sender, RemoteTxnReply(msg.request_id, (), True))
+            return
+
+        def done(states: List[dict]) -> None:
+            for (key, _t), state in zip(keys, states):
+                pending.states[key] = state_from_dict(state["base"])
+            self._execute_remote_txn(pending)
+
+        self._gather_reads(keys, snapshot.vector, tuple(msg.local_deps),
+                           done)
+
+    def _execute_remote_txn(self, pending: _PendingRemoteTxn) -> None:
+        msg = pending.request
+        # Reads are taken from the materialised snapshot states.
+        values = tuple(pending.states[ObjectKey.from_dict(k)].value()
+                       for k, _t in msg.reads)
+        if not msg.updates:
+            self.send(pending.client,
+                      RemoteTxnReply(msg.request_id, values, True))
+            return
+        # Prepare the updates against the snapshot (reading own writes).
+        writes: List[WriteOp] = []
+        for key_dict, type_name, method, args in msg.updates:
+            key = ObjectKey.from_dict(key_dict)
+            state = pending.states[key]
+            op = state.prepare(method, *args)
+            writes.append(WriteOp(key, op))
+        # Idempotent retries: a repeated (client, request) pair re-uses the
+        # dot assigned the first time and just reports its commit stamp.
+        request_key = (msg.client_id, msg.request_id)
+        known_dot = self._remote_request_dots.get(request_key)
+        if known_dot is not None and self.dots.seen(known_dot):
+            known = self._txn_by_dot.get(known_dot)
+            entries = dict(known.commit.entries) if known else {}
+            self.send(pending.client, RemoteTxnReply(
+                msg.request_id, values, True, entries))
+            return
+        if msg.dot is not None:
+            dot = Dot.from_dict(msg.dot)
+        else:
+            # Server-assigned Lamport dot: orders after everything this DC
+            # has applied, in a DC-scoped origin namespace.
+            dot = Dot(self.lamport.tick(), f"{self.node_id}/srv")
+        self._remote_request_dots[request_key] = dot
+        txn = Transaction(dot=dot, origin=msg.client_id,
+                          snapshot=pending.snapshot, commit=CommitStamp(),
+                          writes=writes, issuer=msg.issuer)
+        if self.dots.seen(dot):
+            known = self._txn_by_dot.get(dot)
+            entries = dict(known.commit.entries) if known else {}
+            self.send(pending.client, RemoteTxnReply(
+                msg.request_id, values, True, entries))
+            return
+        # Apply each prepared op to the snapshot buffer so that several
+        # updates to one object within the transaction compose.
+        for index, write in enumerate(txn.tagged_writes()):
+            pending.states[write.key].apply(write.op)
+        # Two-phase commit across the touched shards (ClockSI style).
+        shards = sorted(self.ring.partition(txn.keys))
+        txid = self._next_txid
+        self._next_txid += 1
+
+        def on_done(ok: bool) -> None:
+            if ok:
+                self._commit_local(txn, notify_shards=False)
+                for shard in shards:
+                    self.send(shard, ShardCommit(txid, txn.to_dict()))
+                self.send(pending.client, RemoteTxnReply(
+                    msg.request_id, values, True,
+                    dict(txn.commit.entries)))
+            else:  # pragma: no cover - shards never refuse in simulation
+                self.send(pending.client, RemoteTxnReply(
+                    msg.request_id, values, False, reason="aborted"))
+
+        self._pending_2pc[txid] = _Pending2PC(txn, shards, on_done)
+        for shard in shards:
+            self.send(shard, ShardPrepare(txid, txn.to_dict()))
+
+    def _on_shard_vote(self, msg: ShardVote, sender: str) -> None:
+        pending = self._pending_2pc.get(msg.txid)
+        if pending is None:
+            return
+        if not msg.ok:  # pragma: no cover - shards never refuse here
+            del self._pending_2pc[msg.txid]
+            pending.on_done(False)
+            return
+        pending.votes.add(sender)
+        if pending.votes >= set(pending.shards):
+            del self._pending_2pc[msg.txid]
+            pending.on_done(True)
+
+    # ------------------------------------------------------------------
+    # geo-replication (sections 3.4, 3.6) and K-stability (3.8)
+    # ------------------------------------------------------------------
+    def _on_replicate(self, msg: Replicate, sender: str) -> None:
+        txn = Transaction.from_dict(msg.txn)
+        self.stats["replicated_in"] += 1
+        self.kstab.record(txn.dot, set(msg.holders) | {self.node_id})
+        queue = self._repl_queues.setdefault(sender, deque())
+        queue.append(txn)
+        self._process_repl_queues()
+        # Tell every DC that we now hold the transaction too.
+        holders = frozenset(self.kstab.holders(txn.dot))
+        ack = StabilityAck(txn.dot.to_dict(), holders)
+        for dc in self.peer_dcs:
+            self.send(dc, ack)
+        self._advance_stability()
+
+    def _process_repl_queues(self) -> None:
+        """Apply queued remote transactions whose dependencies are met."""
+        progress = True
+        while progress:
+            progress = False
+            for origin_dc, queue in self._repl_queues.items():
+                while queue:
+                    txn = queue[0]
+                    ts = txn.commit.entries.get(origin_dc)
+                    if ts is None:  # pragma: no cover - malformed stream
+                        queue.popleft()
+                        continue
+                    if self.dots.seen(txn.dot):
+                        # Duplicate via another DC (migration); adopt the
+                        # extra equivalent commit entry (section 3.8).
+                        known = self._txn_by_dot.get(txn.dot)
+                        if known is not None:
+                            for dc, entry_ts in txn.commit.entries.items():
+                                if dc not in known.commit.entries:
+                                    known.commit.add_entry(dc, entry_ts)
+                        self.state_vector = self.state_vector.merge(
+                            VectorClock({origin_dc: ts}))
+                        self._stream_dots.setdefault(
+                            origin_dc, {})[ts] = txn.dot
+                        queue.popleft()
+                        progress = True
+                        continue
+                    if not txn.snapshot.satisfied_by(self.state_vector,
+                                                     self.dots):
+                        break  # blocked on a third DC's stream
+                    queue.popleft()
+                    self._apply_remote_txn(origin_dc, ts, txn)
+                    progress = True
+        self._advance_stability()
+
+    def _apply_remote_txn(self, origin_dc: str, ts: int,
+                          txn: Transaction) -> None:
+        self.lamport.observe(txn.dot.counter)
+        self.dots.observe(txn.dot)
+        self._txn_by_dot[txn.dot] = txn
+        self._stream_dots.setdefault(origin_dc, {})[ts] = txn.dot
+        # Advance only the stream we received on: other equivalent commit
+        # entries (section 3.8) belong to streams that ship separately, and
+        # merging them here would claim transactions we have not applied.
+        self.state_vector = self.state_vector.merge(
+            VectorClock({origin_dc: ts}))
+        for shard, _keys in self.ring.partition(txn.keys).items():
+            self.send(shard, ShardApply(txn.to_dict()))
+
+    def _on_stability_ack(self, msg: StabilityAck, sender: str) -> None:
+        dot = Dot.from_dict(msg.dot)
+        self.kstab.record(dot, set(msg.holders))
+        self._advance_stability()
+
+    # -- anti-entropy: repair replication across partitions -----------------
+    def _sync_peers(self) -> None:
+        if not self.peer_dcs:
+            return
+        ping = DCSyncPing(self.state_vector.to_dict())
+        for dc in self.peer_dcs:
+            self.send(dc, ping)
+
+    def _on_sync_ping(self, msg: DCSyncPing, sender: str) -> None:
+        """Resend our stream's suffix to a peer that fell behind."""
+        peer_has = msg.state_vector.get(self.node_id, 0)
+        stream = self._stream_dots.get(self.node_id, {})
+        resent = 0
+        ts = peer_has + 1
+        while ts <= self._sequencer and resent < self.SYNC_BATCH:
+            dot = stream.get(ts)
+            if dot is not None:
+                txn = self._txn_by_dot.get(dot)
+                if txn is not None:
+                    holders = frozenset(self.kstab.holders(dot)
+                                        | {self.node_id})
+                    self.send(sender, Replicate(txn.to_dict(), holders),
+                              size_bytes=txn.byte_size())
+                    resent += 1
+            ts += 1
+
+    def _advance_stability(self) -> None:
+        """Move per-stream stable frontiers; push newly stable updates.
+
+        The stable vector must stay a *causally closed* cut: a transaction
+        is released only when it is K-stable AND all its dependencies are
+        already inside the cut (its snapshot vector is covered and its
+        symbolic dependencies were released).  Without this, an edge could
+        receive a transaction before its causal ancestors — exactly the
+        incompatibility K-stability exists to prevent (section 3.8).
+        """
+        advanced = False
+        stable = self.stable_vector
+        progress = True
+        while progress:
+            progress = False
+            for origin_dc, stream in self._stream_dots.items():
+                frontier = stable[origin_dc]
+                while True:
+                    dot = stream.get(frontier + 1)
+                    if dot is None or not self.kstab.is_stable(dot):
+                        break
+                    txn = self._txn_by_dot.get(dot)
+                    if txn is None:  # pragma: no cover - defensive
+                        break
+                    if not txn.snapshot.vector.leq(stable):
+                        break  # blocked on another stream's frontier
+                    if not all(d in self._stable_dots
+                               for d in txn.snapshot.local_deps):
+                        break
+                    frontier += 1
+                    stable = stable.advance(origin_dc, frontier)
+                    self._stable_dots.add(dot)
+                    progress = True
+                    advanced = True
+        self.stable_vector = stable
+        if advanced:
+            self._push_updates()
+
+    # ------------------------------------------------------------------
+    # pushing K-stable updates to edge sessions (sections 3.8, 4.2)
+    # ------------------------------------------------------------------
+    def _push_updates(self) -> None:
+        """Send newly K-stable transactions to interested edge sessions."""
+        new_txns: List[Transaction] = []
+        for origin_dc, stream in self._stream_dots.items():
+            start = self._pushed_stable[origin_dc]
+            end = self.stable_vector[origin_dc]
+            for ts in range(start + 1, end + 1):
+                dot = stream.get(ts)
+                if dot is None:
+                    continue
+                txn = self._txn_by_dot.get(dot)
+                if txn is not None:
+                    new_txns.append(txn)
+        prev = self._pushed_stable.to_dict()
+        self._pushed_stable = self.stable_vector
+        if not new_txns and not self.sessions:
+            return
+        # Dot order linearly extends causality: safe delivery order.
+        new_txns.sort(key=lambda t: t.dot.as_tuple())
+        seen: Set[Dot] = set()
+        unique = []
+        for txn in new_txns:
+            if txn.dot not in seen:
+                seen.add(txn.dot)
+                unique.append(txn)
+        stable = self.stable_vector.to_dict()
+        for session in self.sessions.values():
+            relevant = [t.to_dict() for t in unique
+                        if any(k in session.interest for k in t.keys)]
+            push = UpdatePush(tuple(relevant), stable, prev)
+            size = sum(t.byte_size() for t in unique) if relevant else 16
+            self.send(session.edge_id, push, size_bytes=size)
+
+    def _keepalive(self) -> None:
+        """Empty push so edges can detect missed deltas after a heal."""
+        if not self.sessions:
+            return
+        prev = self._pushed_stable.to_dict()
+        stable = self.stable_vector.to_dict()
+        push = UpdatePush((), stable, prev)
+        for session in self.sessions.values():
+            self.send(session.edge_id, push, size_bytes=16)
+
+    # ------------------------------------------------------------------
+    # introspection for tests and benchmarks
+    # ------------------------------------------------------------------
+    def transaction(self, dot: Dot) -> Optional[Transaction]:
+        return self._txn_by_dot.get(dot)
+
+    @property
+    def committed_count(self) -> int:
+        return self.stats["committed"]

@@ -1,0 +1,223 @@
+"""Wire messages of the Colony infrastructure protocols.
+
+Three message families:
+
+* edge/client <-> DC: sessions, interest sets, asynchronous edge commit,
+  update pushes, remote (in-DC) transactions;
+* DC <-> DC: geo-replication and K-stability gossip;
+* intra-DC: ClockSI-style two-phase commit between the transaction
+  coordinator and the shard servers, plus shard reads.
+
+Messages carry plain dictionaries (the ``to_dict`` forms of the core
+types) so that their simulated byte sizes are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+
+# -- edge/client <-> DC -------------------------------------------------------
+
+@dataclass(frozen=True)
+class SessionOpen:
+    """Edge node opens (or re-opens after migration) a session."""
+
+    edge_id: str
+    interest: Tuple[Tuple[dict, str], ...]  # ((key_dict, type_name), ...)
+    state_vector: Dict[str, int]
+    # Dots of local transactions the edge state depends upon (unacked).
+    local_deps: Tuple[dict, ...] = ()
+    credentials: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SessionAck:
+    dc_id: str
+    objects: Tuple[dict, ...]        # journal snapshot states
+    stable_vector: Dict[str, int]
+    accepted: bool = True
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class InterestChange:
+    edge_id: str
+    add: Tuple[Tuple[dict, str], ...] = ()
+    remove: Tuple[dict, ...] = ()
+    # The edge's current state vector: seeds must not be older than it.
+    state_vector: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ObjectRequest:
+    edge_id: str
+    key: dict
+    type_name: str
+    state_vector: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ObjectResponse:
+    object_state: dict
+    stable_vector: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class EdgeCommit:
+    """An edge transaction shipped for (asynchronous) DC commitment."""
+
+    txn: dict
+
+
+@dataclass(frozen=True)
+class EdgeCommitBatch:
+    """Several buffered edge transactions shipped together, in commit
+    order (the writeback cache policy, section 6.1)."""
+
+    txns: Tuple[dict, ...]
+
+
+@dataclass(frozen=True)
+class CommitAck:
+    """The concrete commit descriptor for a previously symbolic commit."""
+
+    dot: dict
+    entries: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class CommitReject:
+    dot: dict
+    reason: str
+
+
+@dataclass(frozen=True)
+class UpdatePush:
+    """K-stable updates for an edge's interest set, in DC commit order.
+
+    ``prev_vector`` is the cut this delta starts from: a receiver whose
+    state does not cover it has missed a push (e.g. across a partition)
+    and must re-synchronise instead of blindly advancing its vector.
+    """
+
+    txns: Tuple[dict, ...]
+    stable_vector: Dict[str, int]
+    prev_vector: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RemoteTxnRequest:
+    """A transaction executed *in* the DC (baseline mode or migration §3.9).
+
+    ``reads`` name objects to read; ``updates`` are (key_dict, type_name,
+    method, args) tuples prepared server-side.  ``snapshot`` optionally
+    pins the snapshot (transaction migration primes it with the client's
+    state vector).
+    """
+
+    client_id: str
+    request_id: int
+    reads: Tuple[Tuple[dict, str], ...] = ()
+    updates: Tuple[Tuple[dict, str, str, tuple], ...] = ()
+    snapshot: Optional[Dict[str, int]] = None
+    local_deps: Tuple[dict, ...] = ()
+    issuer: Optional[str] = None
+    # Client-assigned dot for the update transaction (keeps client dot
+    # spaces collision-free and makes retries idempotent).
+    dot: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class RemoteTxnReply:
+    request_id: int
+    values: Tuple[Any, ...]
+    committed: bool
+    commit_entries: Dict[str, int] = field(default_factory=dict)
+    reason: Optional[str] = None
+
+
+# -- DC <-> DC ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DCSyncPing:
+    """Anti-entropy heartbeat: the sender's applied state vector.
+
+    A receiver that is *ahead* on its own stream resends the missing
+    suffix, repairing replication after partitions.
+    """
+
+    state_vector: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class Replicate:
+    """Geo-replication: one committed transaction, shipped in order."""
+
+    txn: dict
+    holders: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class StabilityAck:
+    """Gossip: the sender now also stores the transaction."""
+
+    dot: dict
+    holders: FrozenSet[str]
+
+
+# -- intra-DC (coordinator <-> shard server) ----------------------------------------
+
+@dataclass(frozen=True)
+class ShardPrepare:
+    txid: int
+    txn: dict
+
+
+@dataclass(frozen=True)
+class ShardVote:
+    txid: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class ShardCommit:
+    txid: int
+    txn: dict
+
+
+@dataclass(frozen=True)
+class ShardAbort:
+    txid: int
+
+
+@dataclass(frozen=True)
+class ShardApply:
+    """Replicated/edge transaction applied to the owning shard (no 2PC)."""
+
+    txn: dict
+
+
+@dataclass(frozen=True)
+class ShardCompactMsg:
+    """Fold journalled entries covered by ``frontier`` into base versions."""
+
+    frontier: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ShardRead:
+    request_id: int
+    key: dict
+    type_name: str
+    visible_vector: Dict[str, int]
+    # Extra dots visible by identity (unacked edge txns of a migrated
+    # transaction's snapshot, section 3.9).
+    extra_dots: Tuple[dict, ...] = ()
+
+
+@dataclass(frozen=True)
+class ShardReadReply:
+    request_id: int
+    object_state: dict

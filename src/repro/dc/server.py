@@ -1,0 +1,90 @@
+"""Shard server: one storage node inside a data centre.
+
+A DC shards objects across servers by consistent hashing (paper section
+6.3).  Shard servers store journals and answer the coordinator's 2PC and
+read messages.  They are deliberately dumb: ordering, timestamps and
+visibility are the coordinator's business (the DC is one SI zone).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from ..core.clock import VectorClock
+from ..core.dot import Dot
+from ..core.journal import ObjectJournal
+from ..core.txn import ObjectKey, Transaction
+from ..sim.actor import Actor
+from ..sim.events import EventLoop
+from ..sim.network import Network
+from ..store.kv import VersionedStore
+from .messages import (ShardAbort, ShardApply, ShardCommit,
+                       ShardCompactMsg, ShardPrepare, ShardRead,
+                       ShardReadReply, ShardVote)
+
+
+class ShardServer(Actor):
+    """Stores the journals of the keys it owns."""
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 rng: Optional[random.Random] = None):
+        super().__init__(node_id, loop, network, rng)
+        self.store = VersionedStore()
+        self._prepared: Dict[int, Transaction] = {}
+
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, ShardPrepare):
+            self._on_prepare(message, sender)
+        elif isinstance(message, ShardCommit):
+            self._on_commit(message, sender)
+        elif isinstance(message, ShardAbort):
+            self._prepared.pop(message.txid, None)
+        elif isinstance(message, ShardApply):
+            self.store.apply_transaction(Transaction.from_dict(message.txn))
+        elif isinstance(message, ShardRead):
+            self._on_read(message, sender)
+        elif isinstance(message, ShardCompactMsg):
+            frontier = VectorClock(message.frontier)
+            self.store.compact(
+                lambda e: (not e.txn.commit.is_symbolic
+                           and e.txn.commit.included_in(frontier)))
+        else:
+            raise TypeError(f"shard {self.node_id}: unexpected"
+                            f" message {message!r}")
+
+    # -- 2PC participant -----------------------------------------------------
+    def _on_prepare(self, msg: ShardPrepare, sender: str) -> None:
+        txn = Transaction.from_dict(msg.txn)
+        # CRDT updates merge rather than conflict, so a shard only refuses
+        # when it cannot durably stage the writes (never, in simulation).
+        self._prepared[msg.txid] = txn
+        self.send(sender, ShardVote(msg.txid, True))
+
+    def _on_commit(self, msg: ShardCommit, sender: str) -> None:
+        self._prepared.pop(msg.txid, None)
+        # The coordinator's copy carries the assigned commit stamp.
+        self.store.apply_transaction(Transaction.from_dict(msg.txn))
+
+    # -- reads -------------------------------------------------------------------
+    def _on_read(self, msg: ShardRead, sender: str) -> None:
+        key = ObjectKey.from_dict(msg.key)
+        vector = VectorClock(msg.visible_vector)
+        extras = {Dot.from_dict(d) for d in msg.extra_dots}
+        journal = self.store.journal(key)
+        if journal is None:
+            journal = ObjectJournal(key, msg.type_name)
+
+        def visible(entry) -> bool:
+            return (entry.txn.commit.included_in(vector)
+                    or entry.dot in extras)
+
+        state = journal.materialise(visible)
+        dots = journal.visible_dots(visible)
+        object_state = {
+            "key": key.to_dict(),
+            "type": msg.type_name,
+            "base": state.to_dict(),
+            "base_dots": [d.to_dict() for d in sorted(dots)],
+        }
+        self.send(sender, ShardReadReply(msg.request_id, object_state))

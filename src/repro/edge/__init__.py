@@ -1,0 +1,16 @@
+"""Edge-node protocol: local-first replicas, sessions, migration."""
+
+from .cloud_client import CloudClient
+from .node import EdgeNode, TxnStats
+from .pop import PoPNode
+from .session import (AuthReply, Authenticate, GroupInfo, GroupLookup,
+                      SessionManager)
+from .txn_context import (AbortTransaction, ReadIntent, TransactionContext,
+                          UpdateIntent)
+
+__all__ = [
+    "EdgeNode", "TxnStats", "CloudClient", "PoPNode",
+    "SessionManager", "Authenticate", "AuthReply", "GroupLookup",
+    "GroupInfo",
+    "TransactionContext", "ReadIntent", "UpdateIntent", "AbortTransaction",
+]

@@ -1,0 +1,757 @@
+"""The edge node: local-first client replica (paper sections 3.7, 4.2).
+
+An edge node caches its interest set, executes transactions locally against
+a TCC+ snapshot, commits *asynchronously* (the commit timestamp stays
+symbolic until the connected DC acknowledges), and keeps working while
+disconnected.  Visibility of remote transactions is gated by the DC on
+K-stability; the node's own transactions are always visible to itself
+(read-my-writes).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.clock import LamportClock, VectorClock
+from ..core.dot import Dot, DotTracker
+from ..core.journal import ObjectJournal
+from ..core.txn import CommitStamp, ObjectKey, Snapshot, Transaction
+from ..crdt.base import OpBasedCRDT, new_crdt
+from ..dc.messages import (CommitAck, CommitReject, EdgeCommit,
+                           EdgeCommitBatch, InterestChange, ObjectRequest,
+                           ObjectResponse,
+                           RemoteTxnReply, RemoteTxnRequest, SessionAck,
+                           SessionOpen, UpdatePush)
+from ..security.enforcement import (ACL_OBJECT, RI_OBJECTS, RI_USERS,
+                                    SecurityEnforcer)
+from ..sim.actor import Actor
+from ..sim.events import EventLoop
+from ..sim.network import Network
+from ..store.cache import InterestCache
+from .txn_context import (AbortTransaction, ReadIntent, TransactionContext,
+                          UpdateIntent)
+
+
+class TxnStats:
+    """One record per finished transaction, for the benchmarks."""
+
+    __slots__ = ("start", "end", "served_by", "read_only", "aborted")
+
+    def __init__(self, start: float, end: float, served_by: str,
+                 read_only: bool, aborted: bool = False):
+        self.start = start
+        self.end = end
+        self.served_by = served_by
+        self.read_only = read_only
+        self.aborted = aborted
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.start
+
+
+class _DotCover:
+    """Dep-check view: a dot is covered if journalled here."""
+
+    __slots__ = ("_dots", "_uncovered")
+
+    def __init__(self, dots: DotTracker, uncovered) -> None:
+        self._dots = dots
+        self._uncovered = uncovered
+
+    def seen(self, dot: Dot) -> bool:
+        return dot in self._uncovered or self._dots.seen(dot)
+
+
+class _RunningTxn:
+    """A suspended interactive transaction awaiting an object fetch.
+
+    When the fetch completes the transaction *restarts* from scratch with
+    a fresh snapshot that covers the fetched state, so all its reads come
+    from one consistent cut.  Bodies must therefore be pure up to commit
+    (re-executable), as in any STM-style retry loop.
+    """
+
+    def __init__(self, body, gen, ctx: TransactionContext,
+                 on_done: Optional[Callable[[Any, TxnStats], None]],
+                 on_abort: Optional[Callable[[Exception], None]]):
+        self.body = body
+        self.gen = gen
+        self.ctx = ctx
+        self.on_done = on_done
+        self.on_abort = on_abort
+
+    def restart(self, snapshot: Snapshot) -> None:
+        served = self.ctx.served_by
+        started = self.ctx.started_at
+        self.ctx = TransactionContext(snapshot)
+        self.ctx.started_at = started
+        self.ctx.served_by = served
+        self.gen = self.body(self.ctx)
+
+
+class EdgeNode(Actor):
+    """A far-edge device (or border node) running the Colony client."""
+
+    RETRY_INTERVAL_MS = 500.0
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 dc_id: str, cache_capacity: Optional[int] = None,
+                 user: Optional[str] = None, security_enabled: bool = False,
+                 writeback_ms: Optional[float] = None,
+                 rng: Optional[random.Random] = None):
+        super().__init__(node_id, loop, network, rng)
+        self.connected_dc = dc_id
+        self.user = user or node_id
+        # Cache write policy (section 6.1 "e.g. LRU, writeback"): with a
+        # writeback interval, commits are shipped in periodic batches
+        # instead of eagerly — fewer uplink messages, higher staleness.
+        self.writeback_ms = writeback_ms
+        if writeback_ms is not None:
+            self.every(writeback_ms, self._flush_writeback,
+                       jitter=writeback_ms * 0.1)
+        self.lamport = LamportClock()
+        self.cache = InterestCache(cache_capacity,
+                                   on_evict=self._on_evict)
+        self._interest_types: Dict[ObjectKey, str] = {}
+        # Keys whose base state was seeded (from a DC or a peer): only
+        # these may be served from the cache; a declared-but-unseeded key
+        # is a miss, not an empty object.
+        self._warm: Set[ObjectKey] = set()
+        # Per-key seed cut: the vector at which the key's base version was
+        # materialised.  A seed may run ahead of the node's own vector (a
+        # collaborative-cache fetch served from a fresher parent); reads
+        # of that key happen at merge(vector, cut), and the transaction's
+        # declared snapshot grows accordingly so receivers wait for every
+        # causal dependency the read actually saw.
+        self._key_cut: Dict[ObjectKey, VectorClock] = {}
+        self.vector = VectorClock.zero()      # stable prefix received
+        self.dots = DotTracker()              # every txn journalled here
+        # Admitted-but-not-vector-covered transactions (own unacked +
+        # foreign, e.g. received through a peer group).
+        self._uncovered: "OrderedDict[Dot, Transaction]" = OrderedDict()
+        # Own committed transactions not yet acknowledged by a DC.
+        self.unacked: "OrderedDict[Dot, Transaction]" = OrderedDict()
+        self._txn_by_dot: Dict[Dot, Transaction] = {}
+        self.session_open = False
+        self.offline = False
+        self.security_enabled = security_enabled
+        self.enforcer = SecurityEnforcer()
+        self._pending_fetches: Dict[ObjectKey, List[_RunningTxn]] = {}
+        # Materialisation cache: key -> (signature, state).  Valid while
+        # the journal, the snapshot and the security window are unchanged.
+        self._mat_cache: Dict[ObjectKey, Tuple[Any, OpBasedCRDT]] = {}
+        self._compact_tick = 0
+        self._subscriptions: Dict[ObjectKey,
+                                  List[Callable[[ObjectKey], None]]] = {}
+        self.txn_stats: List[TxnStats] = []
+        self.on_session_change: Optional[Callable[[bool], None]] = None
+        # Migrated (in-DC) transactions awaiting their reply (section 3.9).
+        self._next_remote_request = 0
+        self._remote_pending: Dict[int, Tuple] = {}
+        if security_enabled:
+            for key in (ACL_OBJECT, RI_OBJECTS, RI_USERS):
+                type_name = "orset" if key == ACL_OBJECT else "gmap"
+                self._declare_interest_local(key, type_name)
+        self.every(self.RETRY_INTERVAL_MS, self._retry_unacked,
+                   jitter=50.0)
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def connect(self) -> None:
+        """Open (or re-open) the session with the connected DC."""
+        if self.offline:
+            return
+        interest = tuple((k.to_dict(), t)
+                         for k, t in self._interest_types.items())
+        # Declare only dependencies the DC must already have: transactions
+        # still carrying symbolic commits will be (re)shipped by us right
+        # after the session opens, so they must not block compatibility.
+        deps = tuple(d.to_dict() for d, t in self._uncovered.items()
+                     if not t.commit.is_symbolic)
+        self.send(self.connected_dc,
+                  SessionOpen(self.node_id, interest,
+                              self.vector.to_dict(), deps))
+
+    def go_offline(self) -> None:
+        """Lose connectivity; local operation continues (section 7.3.1)."""
+        self.offline = True
+        self.session_open = False
+
+    def go_online(self) -> None:
+        self.offline = False
+        self.connect()
+
+    def migrate_to(self, dc_id: str) -> None:
+        """Switch the connected DC (tree migration, section 3.8)."""
+        self.session_open = False
+        self.connected_dc = dc_id
+        self.connect()
+
+    # ------------------------------------------------------------------
+    # interest sets
+    # ------------------------------------------------------------------
+    def _declare_interest_local(self, key: ObjectKey,
+                                type_name: str) -> None:
+        self._interest_types[key] = type_name
+        self.cache.declare_interest(key, type_name)
+
+    def declare_interest(self, key: ObjectKey, type_name: str) -> None:
+        if key in self._interest_types:
+            return
+        self._declare_interest_local(key, type_name)
+        if self.session_open:
+            self.send(self.connected_dc, InterestChange(
+                self.node_id, add=((key.to_dict(), type_name),),
+                state_vector=self.vector.to_dict()))
+
+    def retract_interest(self, key: ObjectKey) -> None:
+        self._interest_types.pop(key, None)
+        self._warm.discard(key)
+        self._key_cut.pop(key, None)
+        self._mat_cache.pop(key, None)
+        self.cache.retract_interest(key)
+        if self.session_open:
+            self.send(self.connected_dc, InterestChange(
+                self.node_id, remove=(key.to_dict(),),
+                state_vector=self.vector.to_dict()))
+
+    def _on_evict(self, key: ObjectKey) -> None:
+        # Objects evicted from the cache are unsubscribed (section 5.1.2).
+        self._interest_types.pop(key, None)
+        self._warm.discard(key)
+        self._key_cut.pop(key, None)
+        self._mat_cache.pop(key, None)
+        if self.session_open:
+            self.send(self.connected_dc, InterestChange(
+                self.node_id, remove=(key.to_dict(),),
+                state_vector=self.vector.to_dict()))
+
+    def subscribe(self, key: ObjectKey,
+                  callback: Callable[[ObjectKey], None]) -> None:
+        """Reactive programming: run ``callback`` on visible updates."""
+        self._subscriptions.setdefault(key, []).append(callback)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, SessionAck):
+            self._on_session_ack(message, sender)
+        elif isinstance(message, UpdatePush):
+            self._on_update_push(message, sender)
+        elif isinstance(message, CommitAck):
+            self._on_commit_ack(message, sender)
+        elif isinstance(message, CommitReject):
+            pass  # kept in self.unacked; the retry timer resends
+        elif isinstance(message, ObjectResponse):
+            self._on_object_response(message, sender)
+        elif isinstance(message, RemoteTxnReply):
+            self._on_remote_reply(message, sender)
+        else:
+            self.on_extra_message(message, sender)
+
+    def on_extra_message(self, message: Any, sender: str) -> None:
+        """Hook for subclasses (peer-group members)."""
+        raise TypeError(f"edge {self.node_id}: unexpected message"
+                        f" {message!r}")
+
+    def _on_session_ack(self, msg: SessionAck, sender: str) -> None:
+        if not msg.accepted:
+            # Causally incompatible with the DC (section 3.8): stay
+            # effectively disconnected and retry until repaired.
+            self.set_timer(self.RETRY_INTERVAL_MS, self.connect)
+            return
+        seeded: List[ObjectKey] = []
+        seed_vector = VectorClock(msg.stable_vector)
+        for state in msg.objects:
+            self._install_seed(state, seed_vector)
+            seeded.append(ObjectKey.from_dict(state["key"]))
+        self._advance_vector(VectorClock(msg.stable_vector))
+        if not self.session_open:
+            self.session_open = True
+            self._resend_pending(sender)
+            if self.on_session_change is not None:
+                self.on_session_change(True)
+        # Transactions suspended on fetches that were lost while we were
+        # disconnected can resume from the fresh seeds.
+        for key in seeded:
+            if key in self._pending_fetches:
+                self._resume_fetches(key)
+
+    def _resend_pending(self, dc_id: str) -> None:
+        """Resend transactions the (possibly new) DC may lack."""
+        for txn in self.unacked.values():
+            self.send(dc_id, EdgeCommit(txn.to_dict()),
+                      size_bytes=txn.byte_size())
+
+    def _install_seed(self, state: dict,
+                      seed_vector: Optional[VectorClock] = None) -> None:
+        """Install a remote object snapshot without losing newer state.
+
+        A seed taken at ``seed_vector`` may arrive *after* this node has
+        moved past it (a slow fetch racing a session re-seed, or pushes
+        landing meanwhile).  Installing it blindly would erase journal
+        entries the seed does not contain, so:
+
+        * a seed at a cut we already cover is dropped for a warm key;
+        * otherwise the seed base replaces the journal, and both our
+          uncovered transactions and the previously journalled entries
+          are replayed on top (appends deduplicate by dot).
+        """
+        journal = ObjectJournal.from_snapshot_state(state)
+        key = journal.key
+        if key not in self._interest_types:
+            self._declare_interest_local(key, journal.type_name)
+        if key in self._warm and seed_vector is not None \
+                and seed_vector.leq(self.vector.merge(
+                    self._key_cut.get(key, VectorClock.zero()))):
+            return
+        self._warm.add(key)
+        if seed_vector is not None:
+            previous_cut = self._key_cut.get(key, VectorClock.zero())
+            self._key_cut[key] = previous_cut.merge(seed_vector)
+        # Our next dots must order after everything folded into the seed,
+        # so that dot order keeps extending happened-before.
+        for dot in journal.base_dots:
+            self.lamport.observe(dot.counter)
+        previous = self.cache.store.journal(key)
+        self.cache.store.drop(key)
+        self.cache.store._journals[key] = journal  # noqa: SLF001
+        if previous is not None:
+            for entry in previous.entries():
+                journal.append(entry.txn)
+        for txn in self._uncovered.values():
+            if txn.touches(key):
+                journal.append(txn)
+        self._mat_cache.pop(key, None)
+        self._notify_subscribers([key])
+
+    def _on_update_push(self, msg: UpdatePush, sender: str) -> None:
+        if not VectorClock(msg.prev_vector).leq(self.vector):
+            # We missed an earlier delta (e.g. across a partition):
+            # re-open the session to get a full re-seed rather than
+            # advancing the vector past transactions we do not hold.
+            self._handle_push_gap(sender)
+            return
+        touched: List[ObjectKey] = []
+        for txn_dict in msg.txns:
+            txn = Transaction.from_dict(txn_dict)
+            self.lamport.observe(txn.dot.counter)
+            if self.dots.observe(txn.dot):
+                self._txn_by_dot[txn.dot] = txn
+                self.cache.apply_transaction(txn)
+                touched.extend(k for k in txn.keys
+                               if k in self._interest_types)
+        self._advance_vector(VectorClock(msg.stable_vector))
+        self._notify_subscribers(touched)
+
+    def _handle_push_gap(self, sender: str) -> None:
+        self.session_open = False
+        self.connect()
+
+    def _advance_vector(self, vector: VectorClock) -> None:
+        self.vector = self.vector.merge(vector)
+        # Drop uncovered entries that the vector now covers.
+        covered = [dot for dot, txn in self._uncovered.items()
+                   if not txn.commit.is_symbolic
+                   and txn.commit.included_in(self.vector)]
+        for dot in covered:
+            del self._uncovered[dot]
+        self._refresh_security()
+        # Periodically fold the covered journal prefix into base versions.
+        # Safe because transactions restart with fresh snapshots after any
+        # suspension, so no reader holds a snapshot older than the fold.
+        # Only *warm* (seeded, hole-free) journals may be folded; pushes
+        # can land in a declared-but-unseeded journal, which then misses
+        # earlier history until its seed arrives.  Skipped under security:
+        # masking must stay reversible.
+        self._compact_tick += 1
+        if not self.security_enabled and self._compact_tick % 32 == 0:
+            frontier = self.vector
+
+            def stable(entry) -> bool:
+                return (not entry.txn.commit.is_symbolic
+                        and entry.txn.commit.included_in(frontier))
+
+            for key in self._warm:
+                journal = self.cache.store.journal(key)
+                if journal is not None:
+                    journal.advance_base(stable)
+
+    def _on_commit_ack(self, msg: CommitAck, sender: str) -> None:
+        dot = Dot.from_dict(msg.dot)
+        txn = self._txn_by_dot.get(dot)
+        if txn is None:
+            return
+        for dc, ts in msg.entries.items():
+            if dc not in txn.commit.entries:
+                txn.commit.add_entry(dc, ts)
+        self.unacked.pop(dot, None)
+
+    def _retry_unacked(self) -> None:
+        if self.offline or not self.session_open or not self.unacked:
+            return
+        if self.writeback_ms is not None:
+            self._flush_writeback()
+            return
+        for txn in self.unacked.values():
+            self.send(self.connected_dc, EdgeCommit(txn.to_dict()),
+                      size_bytes=txn.byte_size())
+
+    def _flush_writeback(self) -> None:
+        """Writeback policy: ship the buffered commits as one batch."""
+        if self.offline or not self.session_open or not self.unacked:
+            return
+        batch = tuple(txn.to_dict() for txn in self.unacked.values())
+        size = sum(txn.byte_size() for txn in self.unacked.values())
+        self.send(self.connected_dc, EdgeCommitBatch(batch),
+                  size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # reading: snapshot materialisation
+    # ------------------------------------------------------------------
+    def current_snapshot(self) -> Snapshot:
+        """The node's state: stable vector + uncovered visible dots."""
+        return Snapshot(self.vector, set(self._uncovered))
+
+    def _snapshot_filter(self, snapshot: Snapshot,
+                         key: Optional[ObjectKey] = None):
+        masked = self.enforcer.masked_dots if self.security_enabled \
+            else frozenset()
+        vector = snapshot.vector
+        if key is not None:
+            cut = self._key_cut.get(key)
+            if cut is not None:
+                # The base was seeded at `cut`; expose entries up to the
+                # same point so the per-key view is one consistent cut.
+                vector = vector.merge(cut)
+
+        def visible(entry) -> bool:
+            if entry.dot in masked:
+                return False
+            if entry.dot in snapshot.local_deps:
+                return True
+            return entry.txn.commit.included_in(vector)
+        return visible
+
+    def _read_cached(self, key: ObjectKey, snapshot: Snapshot,
+                     type_name: str) -> Optional[OpBasedCRDT]:
+        """Materialise with a per-key cache keyed on journal version."""
+        journal = self.cache.store.journal(key)
+        visible = self._snapshot_filter(snapshot, key)
+        if journal is None:
+            return self.cache.read(key, visible, type_name)
+        generation = self.enforcer.generation if self.security_enabled \
+            else 0
+        cut = self._key_cut.get(key, VectorClock.zero())
+        signature = (journal.uid, journal.version, snapshot.vector, cut,
+                     snapshot.local_deps, generation)
+        cached = self._mat_cache.get(key)
+        if cached is not None and cached[0] == signature:
+            self.cache.stats.hits += 1
+            return cached[1]
+        state = self.cache.read(key, visible, type_name)
+        if state is not None:
+            self._mat_cache[key] = (signature, state)
+        return state
+
+    def read_value(self, key: ObjectKey, type_name: str) -> Any:
+        """Read outside a transaction (current snapshot); cache-only."""
+        state = self._read_cached(key, self.current_snapshot(), type_name)
+        if state is None:
+            return None
+        return state.value()
+
+    # ------------------------------------------------------------------
+    # interactive transactions (generator protocol)
+    # ------------------------------------------------------------------
+    def run_transaction(self, body: Callable[[TransactionContext], Any],
+                        on_done: Optional[Callable[[Any, TxnStats],
+                                                   None]] = None,
+                        on_abort: Optional[Callable[[Exception],
+                                                    None]] = None) -> None:
+        """Execute ``body`` (a generator function) as a transaction."""
+        ctx = TransactionContext(self.current_snapshot())
+        ctx.started_at = self.now
+        gen = body(ctx)
+        if not hasattr(gen, "send"):
+            raise TypeError("transaction bodies must be generator"
+                            " functions (use `yield tx.read(...)`)")
+        running = _RunningTxn(body, gen, ctx, on_done, on_abort)
+        self._step_txn(running, first=True)
+
+    def _step_txn(self, running: _RunningTxn, first: bool = False,
+                  value: Any = None) -> None:
+        gen, ctx = running.gen, running.ctx
+        try:
+            while True:
+                intent = gen.send(None if first else value)
+                first = False
+                if isinstance(intent, ReadIntent):
+                    if not self._ensure_state(running, intent.key,
+                                              intent.type_name):
+                        return  # suspended on a fetch
+                    value = ctx.resolve_read(intent.key)
+                elif isinstance(intent, UpdateIntent):
+                    if not self._ensure_state(running, intent.key,
+                                              intent.type_name):
+                        return
+                    ctx.apply_update(intent, len(ctx.writes),
+                                     (self.lamport.time + 1, self.node_id))
+                    value = None
+                else:
+                    raise TypeError(
+                        f"transaction bodies must yield read/update"
+                        f" intents, got {intent!r}")
+        except StopIteration as stop:
+            self._finish_txn(running, stop.value)
+        except AbortTransaction as abort:
+            self._record_stats(ctx, aborted=True)
+            if running.on_abort is not None:
+                running.on_abort(abort)
+
+    def _ensure_state(self, running: _RunningTxn, key: ObjectKey,
+                      type_name: str) -> bool:
+        """Materialise ``key`` into the txn buffer; False if suspended."""
+        ctx = running.ctx
+        if key in ctx.states:
+            return True
+        if key not in self._interest_types:
+            self.declare_interest(key, type_name)
+        if key in self._warm:
+            state = self._read_cached(key, ctx.snapshot, type_name)
+            if state is not None:
+                ctx.states[key] = state
+                # The read may have seen a per-key cut ahead of our own
+                # vector; the declared snapshot must cover it so receivers
+                # wait for every dependency the read observed.
+                cut = self._key_cut.get(key)
+                if cut is not None and not cut.leq(ctx.snapshot.vector):
+                    ctx.snapshot = Snapshot(
+                        ctx.snapshot.vector.merge(cut),
+                        ctx.snapshot.local_deps)
+                return True
+        # Cache miss (or declared-but-never-seeded): fetch, then resume.
+        self._pending_fetches.setdefault(key, []).append(running)
+        self.fetch_object(key, type_name, ctx)
+        return False
+
+    def fetch_object(self, key: ObjectKey, type_name: str,
+                     ctx: TransactionContext) -> None:
+        """Request an uncached object; subclasses try peers first."""
+        ctx.note_serving("dc")
+        if not self.offline:
+            self.send(self.connected_dc,
+                      ObjectRequest(self.node_id, key.to_dict(), type_name,
+                                    self.vector.to_dict()))
+        # When offline, the fetch stays pending: the transaction cannot
+        # proceed (availability limit, section 4.2) until reconnection.
+
+    def _on_object_response(self, msg: ObjectResponse, sender: str) -> None:
+        self._install_seed(msg.object_state,
+                           VectorClock(msg.stable_vector))
+        self._advance_vector(VectorClock(msg.stable_vector))
+        key = ObjectKey.from_dict(msg.object_state["key"])
+        self._resume_fetches(key)
+
+    def _resume_fetches(self, key: ObjectKey) -> None:
+        waiting = self._pending_fetches.pop(key, [])
+        for running in waiting:
+            # Restart with a fresh snapshot that covers the fetched state:
+            # every read of the retried body sees one consistent cut.
+            running.restart(self.current_snapshot())
+            self._step_txn(running, first=True)
+
+    # ------------------------------------------------------------------
+    # commit (asynchronous, section 3.7)
+    # ------------------------------------------------------------------
+    def _finish_txn(self, running: _RunningTxn, result: Any) -> None:
+        ctx = running.ctx
+        if not ctx.is_read_only:
+            self._commit_local(ctx)
+        stats = self._record_stats(ctx)
+        if running.on_done is not None:
+            running.on_done(result, stats)
+
+    def _commit_local(self, ctx: TransactionContext) -> Transaction:
+        dot = Dot(self.lamport.tick(), self.node_id)
+        txn = Transaction(dot=dot, origin=self.node_id,
+                          snapshot=ctx.snapshot, commit=CommitStamp(),
+                          writes=list(ctx.writes), issuer=self.user)
+        self.dots.observe(dot)
+        self._txn_by_dot[dot] = txn
+        self.cache.apply_transaction(txn)
+        self._uncovered[dot] = txn       # read-my-writes
+        self.unacked[dot] = txn
+        if self.session_open and not self.offline \
+                and self.writeback_ms is None:
+            self.send(self.connected_dc, EdgeCommit(txn.to_dict()),
+                      size_bytes=txn.byte_size())
+        # Propagate (e.g. propose to group consensus) *before* notifying
+        # subscribers: a subscriber may commit a reaction reentrantly, and
+        # proposal order must match commit (and thus causal) order.
+        self.after_commit(txn)
+        self._notify_subscribers([k for k in txn.keys
+                                  if k in self._interest_types])
+        return txn
+
+    def after_commit(self, txn: Transaction) -> None:
+        """Hook for peer-group members (submit to consensus, share)."""
+
+    def _record_stats(self, ctx: TransactionContext,
+                      aborted: bool = False) -> TxnStats:
+        stats = TxnStats(ctx.started_at, self.now, ctx.served_by,
+                         ctx.is_read_only, aborted)
+        self.txn_stats.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # foreign transactions (from a peer group)
+    # ------------------------------------------------------------------
+    def integrate_foreign_txn(self, txn: Transaction) -> bool:
+        """Journal and admit a transaction received outside the DC path.
+
+        Returns False when causal dependencies are missing (the caller
+        should retry once more state arrives).
+        """
+        self.lamport.observe(txn.dot.counter)
+        if self.dots.seen(txn.dot):
+            return True
+        if not txn.snapshot.satisfied_by(self.vector, self._covers):
+            return False
+        self.dots.observe(txn.dot)
+        self._txn_by_dot[txn.dot] = txn
+        self.cache.apply_transaction(txn)
+        if txn.commit.is_symbolic \
+                or not txn.commit.included_in(self.vector):
+            self._uncovered[txn.dot] = txn
+        self._notify_subscribers([k for k in txn.keys
+                                  if k in self._interest_types])
+        return True
+
+    @property
+    def _covers(self) -> "_DotCover":
+        return _DotCover(self.dots, self._uncovered)
+
+    # ------------------------------------------------------------------
+    # security & subscriptions
+    # ------------------------------------------------------------------
+    def _refresh_security(self) -> None:
+        if not self.security_enabled:
+            return
+        snapshot = self.current_snapshot()
+        flt = None  # security metadata is read unmasked
+
+        def read(key: ObjectKey, type_name: str):
+            state = self.cache.read(key, self._raw_filter(snapshot),
+                                    type_name)
+            return state if state is not None else new_crdt(type_name)
+
+        acl_set = read(ACL_OBJECT, "orset").value()
+        obj_ri = {k: v for k, v in read(RI_OBJECTS, "gmap").value().items()}
+        user_ri = {k: v for k, v in read(RI_USERS, "gmap").value().items()}
+        self.enforcer.load_from_values(
+            acl_set, obj_ri, user_ri)
+        self.enforcer.recompute(self._txn_by_dot.values())
+
+    def _raw_filter(self, snapshot: Snapshot):
+        def visible(entry) -> bool:
+            if entry.dot in snapshot.local_deps:
+                return True
+            return entry.txn.commit.included_in(snapshot.vector)
+        return visible
+
+    def _notify_subscribers(self, keys: List[ObjectKey]) -> None:
+        for key in keys:
+            for callback in self._subscriptions.get(key, ()):
+                callback(key)
+
+    # ------------------------------------------------------------------
+    # transaction migration (section 3.9)
+    # ------------------------------------------------------------------
+    REMOTE_RETRY_MS = 400.0
+    REMOTE_MAX_RETRIES = 8
+
+    def run_remote_transaction(self, reads=(), updates=(),
+                               on_done: Optional[Callable[[Any, TxnStats],
+                                                          None]] = None,
+                               on_fail: Optional[Callable[[str],
+                                                          None]] = None) \
+            -> None:
+        """Migrate a (resource-hungry) transaction to the core cloud.
+
+        The snapshot is primed with this node's state vector so the
+        migrated transaction has the same effect as if it ran here; the
+        DC must first hold our local transactions, so a
+        "missing-dependencies" rejection is retried while our unacked
+        stream drains (section 5.1.3 accelerates exactly this).
+        """
+        request_id = self._next_remote_request
+        self._next_remote_request += 1
+        deps = tuple(d.to_dict() for d in self._uncovered)
+        request = RemoteTxnRequest(
+            client_id=self.node_id, request_id=request_id,
+            reads=tuple((k.to_dict(), t) for k, t in reads),
+            updates=tuple((k.to_dict(), t, m, tuple(a))
+                          for k, t, m, a in updates),
+            snapshot=self.vector.to_dict(), local_deps=deps,
+            issuer=self.user)
+        self._remote_pending[request_id] = (self.now, request, on_done,
+                                            on_fail, 0)
+        self._send_remote(request_id)
+
+    def _send_remote(self, request_id: int) -> None:
+        pending = self._remote_pending.get(request_id)
+        if pending is None or self.offline:
+            return
+        self.send(self.connected_dc, pending[1], size_bytes=128)
+
+    def _on_remote_reply(self, msg: RemoteTxnReply, sender: str) -> None:
+        pending = self._remote_pending.get(msg.request_id)
+        if pending is None:
+            return
+        start, request, on_done, on_fail, attempts = pending
+        if not msg.committed and msg.reason == "missing-dependencies":
+            # Our local transactions have not all reached the DC yet;
+            # the retry timer for unacked commits is draining them.
+            if attempts + 1 >= self.REMOTE_MAX_RETRIES:
+                del self._remote_pending[msg.request_id]
+                if on_fail is not None:
+                    on_fail(msg.reason)
+                return
+            self._remote_pending[msg.request_id] = (
+                start, request, on_done, on_fail, attempts + 1)
+            self.set_timer(self.REMOTE_RETRY_MS,
+                           lambda: self._send_remote(msg.request_id))
+            return
+        del self._remote_pending[msg.request_id]
+        if not msg.committed:
+            if on_fail is not None:
+                on_fail(msg.reason or "aborted")
+            return
+        stats = TxnStats(start, self.now, "dc",
+                         read_only=not msg.commit_entries)
+        self.txn_stats.append(stats)
+        if on_done is not None:
+            on_done(msg.values, stats)
+
+    # ------------------------------------------------------------------
+    # convenience: one-shot transactions (used by the workload driver)
+    # ------------------------------------------------------------------
+    def execute(self, reads: List[Tuple[ObjectKey, str]] = (),
+                updates: List[Tuple[ObjectKey, str, str, tuple]] = (),
+                on_done: Optional[Callable[[Any, TxnStats], None]] = None) \
+            -> None:
+        """Run a batch transaction: all reads, then all updates."""
+        def body(tx: TransactionContext):
+            values = []
+            for key, type_name in reads:
+                values.append((yield tx.read(key, type_name)))
+            for key, type_name, method, args in updates:
+                yield tx.update(key, type_name, method, *args)
+            return tuple(values)
+        self.run_transaction(body, on_done=on_done)

@@ -1,0 +1,213 @@
+"""Point-of-presence (PoP) border node (paper Figure 1, sections 2.1, 9).
+
+A PoP is a border-tier cache between far-edge devices and their connected
+DC: "A far edge device connects either directly to a DC, or via a
+point-of-presence (PoP) server at the border."  The paper's conclusion
+lists PoP placement as the lever for further latency wins; this class
+implements it.
+
+To its child edge nodes the PoP *speaks the DC protocol*: it terminates
+their sessions, seeds their caches from its own (border nodes sit on
+carrier Ethernet, ~10 ms from devices, versus ~50 ms to the core), and
+forwards their commits upstream.  To the DC it behaves like one edge node
+whose interest set is the union of its children's — exactly how a peer
+group's sync point appears (section 5.1.3), but without consensus: a PoP
+serves unrelated clients, so it offers plain TCC+, not an SI zone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.clock import VectorClock
+from ..core.dot import Dot
+from ..core.txn import ObjectKey
+from ..dc.messages import (CommitAck, CommitReject, EdgeCommit,
+                           InterestChange, ObjectRequest, ObjectResponse,
+                           SessionAck, SessionOpen, UpdatePush)
+from ..sim.events import EventLoop
+from ..sim.network import Network
+from .node import EdgeNode
+
+
+class PoPNode(EdgeNode):
+    """A border cache that proxies edge sessions towards its DC."""
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 dc_id: str, cache_capacity: Optional[int] = None,
+                 rng: Optional[random.Random] = None):
+        super().__init__(node_id, loop, network, dc_id,
+                         cache_capacity=cache_capacity, rng=rng)
+        # Child sessions: edge id -> its interest set (key -> type).
+        self._children: Dict[str, Dict[ObjectKey, str]] = {}
+        # Commits relayed upstream, for ack routing: dot -> child id.
+        self._relayed: Dict[Dot, str] = {}
+        # Fetches awaiting an upstream response: key -> child ids.
+        self._child_fetches: Dict[ObjectKey, List[str]] = {}
+        # Children whose session opened before our upstream seed landed:
+        # key -> child ids to seed as soon as the key becomes warm.
+        self._child_unseeded: Dict[ObjectKey, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # child-facing: the DC protocol, served from the border
+    # ------------------------------------------------------------------
+    def on_extra_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, SessionOpen):
+            self._child_session_open(message, sender)
+        elif isinstance(message, EdgeCommit):
+            self._child_commit(message, sender)
+        elif isinstance(message, InterestChange):
+            self._child_interest(message, sender)
+        elif isinstance(message, ObjectRequest):
+            self._child_fetch(message, sender)
+        else:
+            super().on_extra_message(message, sender)
+
+    def _child_session_open(self, msg: SessionOpen, sender: str) -> None:
+        # Compatibility: the child's state must be within ours (we only
+        # ever serve prefixes of the DC's stable cut, so a child that was
+        # previously ours always is; a migrated-in child may not be yet).
+        child_vector = VectorClock(msg.state_vector)
+        deps_ok = all(self.dots.seen(Dot.from_dict(d))
+                      or Dot.from_dict(d).origin == msg.edge_id
+                      for d in msg.local_deps)
+        if not child_vector.leq(self.vector) or not deps_ok:
+            self.send(sender, SessionAck(self.node_id, (), {},
+                                         accepted=False,
+                                         reason="causally-incompatible"))
+            return
+        interest = {ObjectKey.from_dict(k): t for k, t in msg.interest}
+        self._children[msg.edge_id] = interest
+        # Adopt the union interest upstream.
+        missing = [(key, t) for key, t in interest.items()
+                   if key not in self._interest_types]
+        for key, type_name in missing:
+            self.declare_interest(key, type_name)
+        # Seed the child from our cache for whatever is warm; the rest is
+        # delivered as soon as our own upstream seed lands.
+        objects = tuple(self._seed_state(key)
+                        for key in interest if key in self._warm)
+        for key in interest:
+            if key not in self._warm:
+                self._child_unseeded.setdefault(key, set()).add(
+                    msg.edge_id)
+        self.send(sender, SessionAck(self.node_id, objects,
+                                     self.vector.to_dict()))
+
+    def _seed_state(self, key: ObjectKey) -> dict:
+        journal = self.cache.store.journal(key)
+        vector = self.vector
+
+        def visible(entry) -> bool:
+            return entry.txn.commit.included_in(vector)
+
+        return {
+            "key": key.to_dict(),
+            "type": self._interest_types[key],
+            "base": journal.materialise(visible).to_dict(),
+            "base_dots": [d.to_dict() for d in
+                          sorted(journal.visible_dots(visible))],
+        }
+
+    def _child_commit(self, msg: EdgeCommit, sender: str) -> None:
+        dot = Dot.from_dict(msg.txn["dot"])
+        self._relayed[dot] = sender
+        # Journal it locally so sibling children see it at border latency
+        # once the DC's (authoritative, K-stable) push returns; forward
+        # upstream unchanged — the DC assigns the commit timestamp.
+        if self.session_open and not self.offline:
+            self.send(self.connected_dc, msg, size_bytes=64)
+
+    def _child_interest(self, msg: InterestChange, sender: str) -> None:
+        table = self._children.get(msg.edge_id)
+        if table is None:
+            return
+        for key_dict in msg.remove:
+            table.pop(ObjectKey.from_dict(key_dict), None)
+        added = []
+        for key_dict, type_name in msg.add:
+            key = ObjectKey.from_dict(key_dict)
+            table[key] = type_name
+            if key not in self._interest_types:
+                self.declare_interest(key, type_name)
+            added.append(key)
+        seeded = tuple(self._seed_state(key) for key in added
+                       if key in self._warm)
+        for key in added:
+            if key not in self._warm:
+                self._child_unseeded.setdefault(key, set()).add(
+                    msg.edge_id)
+        if seeded:
+            self.send(msg.edge_id, SessionAck(self.node_id, seeded,
+                                              self.vector.to_dict()))
+
+    def _child_fetch(self, msg: ObjectRequest, sender: str) -> None:
+        key = ObjectKey.from_dict(msg.key)
+        if key in self._warm:
+            self.send(msg.edge_id, ObjectResponse(
+                self._seed_state(key), self.vector.to_dict()))
+            return
+        self._child_fetches.setdefault(key, []).append(msg.edge_id)
+        self.declare_interest(key, msg.type_name)
+        if self.session_open and not self.offline:
+            self.send(self.connected_dc,
+                      ObjectRequest(self.node_id, msg.key, msg.type_name,
+                                    self.vector.to_dict()))
+
+    # ------------------------------------------------------------------
+    # upstream-facing: relay acks and pushes down the tree
+    # ------------------------------------------------------------------
+    def _install_seed(self, state: dict, seed_vector=None) -> None:
+        super()._install_seed(state, seed_vector)
+        key = ObjectKey.from_dict(state["key"])
+        waiting = self._child_unseeded.pop(key, None)
+        if waiting and key in self._warm:
+            seeded = (self._seed_state(key),)
+            for child in waiting:
+                self.send(child, SessionAck(self.node_id, seeded,
+                                            self.vector.to_dict()))
+    def _on_commit_ack(self, msg: CommitAck, sender: str) -> None:
+        super()._on_commit_ack(msg, sender)
+        child = self._relayed.pop(Dot.from_dict(msg.dot), None)
+        if child is not None:
+            self.send(child, msg)
+
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, CommitReject) \
+                and sender == self.connected_dc:
+            child = self._relayed.pop(Dot.from_dict(message.dot), None)
+            if child is not None:
+                self.send(child, message)
+            return
+        super().on_message(message, sender)
+
+    def _on_update_push(self, msg: UpdatePush, sender: str) -> None:
+        super()._on_update_push(msg, sender)
+        if sender != self.connected_dc:
+            return
+        # Relay to each child, filtered by its interest set.
+        for child, interest in self._children.items():
+            relevant = tuple(
+                txn for txn in msg.txns
+                if any(ObjectKey.from_dict(w["key"]) in interest
+                       for w in txn["writes"]))
+            self.send(child, UpdatePush(relevant, msg.stable_vector,
+                                        msg.prev_vector))
+
+    def _on_object_response(self, msg: ObjectResponse, sender: str) -> None:
+        super()._on_object_response(msg, sender)
+        key = ObjectKey.from_dict(msg.object_state["key"])
+        for child in self._child_fetches.pop(key, []):
+            if key in self._warm:
+                self.send(child, ObjectResponse(self._seed_state(key),
+                                                self.vector.to_dict()))
+
+    def _on_session_ack(self, msg: SessionAck, sender: str) -> None:
+        super()._on_session_ack(msg, sender)
+        # A fresh upstream seed may satisfy children waiting on fetches.
+        for key in list(self._child_fetches):
+            if key in self._warm:
+                for child in self._child_fetches.pop(key):
+                    self.send(child, ObjectResponse(
+                        self._seed_state(key), self.vector.to_dict()))

@@ -1,0 +1,81 @@
+"""The cloud session manager (paper sections 6.1-6.2).
+
+Opening a client session happens against a server in the core cloud: it
+authenticates the node, hands out session keys, and provides the signalling
+information needed to reach nearby peers (the WebRTC signalling phase of
+the real system).  Here it is an actor keeping a directory of peer groups
+and issuing keys from the :class:`~repro.security.crypto.KeyService`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..security.crypto import KeyService
+from ..sim.actor import Actor
+from ..sim.events import EventLoop
+from ..sim.network import Network
+
+
+@dataclass(frozen=True)
+class Authenticate:
+    node_id: str
+    credentials: str
+
+
+@dataclass(frozen=True)
+class AuthReply:
+    ok: bool
+    token: Optional[str] = None
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GroupLookup:
+    node_id: str
+    group_id: str
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    group_id: str
+    parent: Optional[str]
+    members: Tuple[str, ...]
+    session_key_id: Optional[str] = None
+
+
+class SessionManager(Actor):
+    """Authenticates clients and signals peer-group coordinates."""
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 accounts: Optional[Dict[str, str]] = None,
+                 rng: Optional[random.Random] = None):
+        super().__init__(node_id, loop, network, rng)
+        # node id -> shared secret; None disables authentication checks.
+        self.accounts = accounts
+        self.keys = KeyService()
+        self._groups: Dict[str, GroupInfo] = {}
+
+    def register_group(self, group_id: str, parent: str,
+                       members: Tuple[str, ...] = ()) -> None:
+        key = self.keys.issue(f"group/{group_id}")
+        self._groups[group_id] = GroupInfo(group_id, parent,
+                                           tuple(members), key.key_id)
+
+    def on_message(self, message: Any, sender: str) -> None:
+        if isinstance(message, Authenticate):
+            ok = (self.accounts is None
+                  or self.accounts.get(message.node_id)
+                  == message.credentials)
+            token = f"token/{message.node_id}" if ok else None
+            self.send(sender, AuthReply(ok, token,
+                                        None if ok else "bad-credentials"))
+        elif isinstance(message, GroupLookup):
+            info = self._groups.get(message.group_id)
+            if info is None:
+                info = GroupInfo(message.group_id, None, ())
+            self.send(sender, info)
+        else:
+            raise TypeError(f"session manager: unexpected {message!r}")

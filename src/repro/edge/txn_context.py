@@ -1,0 +1,105 @@
+"""Interactive transaction execution at an edge node.
+
+Application code is a generator so that a read (or update) that misses the
+local cache can suspend the transaction while the object is fetched from a
+peer or the connected DC:
+
+    def body(tx):
+        value = yield tx.read(key, "counter")
+        if value < 10:
+            yield tx.update(key, "counter", "increment", 1)
+        return value
+
+    node.run_transaction(body, on_done=...)
+
+Reads come from the transaction's snapshot (plus its own writes); updates
+are prepared immediately against the private buffer and journalled at
+commit (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.txn import ObjectKey, Snapshot, WriteOp
+from ..crdt.base import OpBasedCRDT
+
+
+class AbortTransaction(Exception):
+    """Raised by application code to abort the current transaction."""
+
+
+class ReadIntent:
+    """Sentinel yielded by ``tx.read``; resolved by the engine."""
+
+    __slots__ = ("key", "type_name")
+
+    def __init__(self, key: ObjectKey, type_name: str):
+        self.key = key
+        self.type_name = type_name
+
+
+class UpdateIntent:
+    """Sentinel yielded by ``tx.update``."""
+
+    __slots__ = ("key", "type_name", "method", "args")
+
+    def __init__(self, key: ObjectKey, type_name: str, method: str,
+                 args: Tuple[Any, ...]):
+        self.key = key
+        self.type_name = type_name
+        self.method = method
+        self.args = args
+
+
+class TransactionContext:
+    """Snapshot-scoped read/update buffer of one interactive transaction."""
+
+    def __init__(self, snapshot: Snapshot):
+        self.snapshot = snapshot
+        # Private buffer: materialised snapshot states + own effects.
+        # States may be shared with the node's materialisation cache until
+        # first write (copy-on-write via _owned).
+        self.states: Dict[ObjectKey, OpBasedCRDT] = {}
+        self.writes: List[WriteOp] = []
+        self._owned: set = set()
+        self.started_at: float = 0.0
+        # How the transaction's reads were served, worst case:
+        # "client" < "peer" < "dc" (for the latency benchmarks).
+        self.served_by = "client"
+
+    # -- application-facing intents ------------------------------------------
+    def read(self, key: ObjectKey, type_name: str) -> ReadIntent:
+        return ReadIntent(key, type_name)
+
+    def update(self, key: ObjectKey, type_name: str, method: str,
+               *args: Any) -> UpdateIntent:
+        return UpdateIntent(key, type_name, method, tuple(args))
+
+    # -- engine side -------------------------------------------------------------
+    def resolve_read(self, key: ObjectKey) -> Any:
+        return self.states[key].value()
+
+    def apply_update(self, intent: UpdateIntent, tag_index: int,
+                     dot_hint) -> None:
+        """Prepare against the private state and buffer the write."""
+        state = self.states[intent.key]
+        if intent.key not in self._owned:
+            state = state.clone()
+            self.states[intent.key] = state
+            self._owned.add(intent.key)
+        op = state.prepare(intent.method, *intent.args)
+        # Apply to the buffer so later reads in this txn see the effect;
+        # the provisional tag is replaced at commit by Transaction.tag_for,
+        # which uses the same (dot, index) shape, so effects agree.
+        state.apply(op.with_tag((dot_hint[0], dot_hint[1], tag_index)))
+        self.writes.append(WriteOp(intent.key, op))
+
+    def note_serving(self, source: str) -> None:
+        rank = {"client": 0, "peer": 1, "dc": 2}
+        if rank[source] > rank[self.served_by]:
+            self.served_by = source
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.writes

@@ -1,0 +1,22 @@
+"""Egalitarian Paxos — total-order consensus at the edge (paper §5.1.4).
+
+Peer groups use EPaxos to agree on the order in which transactions become
+visible: any member can lead a command, and non-interfering commands never
+synchronise.  The replica is sans-io; :mod:`repro.groups` binds it to the
+simulated network.
+"""
+
+from .graph import execution_order, tarjan_sccs
+from .instance import (ACCEPTED, COMMITTED, EXECUTED, NONE, PREACCEPTED,
+                       Instance)
+from .messages import (Accept, AcceptReply, Ballot, Commit, InstanceId,
+                       PreAccept, PreAcceptReply, Prepare, PrepareReply)
+from .replica import NOOP, EPaxosReplica
+
+__all__ = [
+    "EPaxosReplica", "NOOP",
+    "execution_order", "tarjan_sccs",
+    "Instance", "NONE", "PREACCEPTED", "ACCEPTED", "COMMITTED", "EXECUTED",
+    "PreAccept", "PreAcceptReply", "Accept", "AcceptReply", "Commit",
+    "Prepare", "PrepareReply", "InstanceId", "Ballot",
+]

@@ -1,0 +1,93 @@
+"""EPaxos execution ordering: dependency graph + Tarjan SCC.
+
+Committed instances form a graph whose edges are the agreed dependencies.
+Execution applies strongly connected components in reverse topological
+order (dependencies first); within a component, commands run sorted by
+(seq, instance id).  Every replica computes the same order, which Colony
+uses as the peer group's *visibility order*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .messages import InstanceId
+
+
+def tarjan_sccs(nodes: Iterable[InstanceId],
+                edges: Callable[[InstanceId], Iterable[InstanceId]]) \
+        -> List[List[InstanceId]]:
+    """Strongly connected components in reverse topological order.
+
+    Tarjan's algorithm emits SCCs such that every successor (dependency)
+    of a component appears *before* it in the output — exactly execution
+    order.  Iterative to dodge recursion limits on long chains.
+    """
+    index: Dict[InstanceId, int] = {}
+    lowlink: Dict[InstanceId, int] = {}
+    on_stack: Set[InstanceId] = set()
+    stack: List[InstanceId] = []
+    result: List[List[InstanceId]] = []
+    counter = [0]
+    node_list = list(nodes)
+    node_set = set(node_list)
+
+    for root in node_list:
+        if root in index:
+            continue
+        # Iterative DFS: work items are (node, iterator over successors).
+        work = [(root, iter([s for s in edges(root) if s in node_set]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ,
+                         iter([s for s in edges(succ) if s in node_set])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[InstanceId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result
+
+
+def execution_order(
+        committed: Dict[InstanceId, Tuple[int, FrozenSet[InstanceId]]]) \
+        -> List[InstanceId]:
+    """Deterministic execution order over a committed closure.
+
+    ``committed`` maps instance id -> (seq, deps); deps pointing outside
+    the mapping are ignored (the caller guarantees the closure property
+    before invoking).
+    """
+    sccs = tarjan_sccs(sorted(committed),
+                       lambda n: committed[n][1])
+    order: List[InstanceId] = []
+    for component in sccs:
+        component.sort(key=lambda n: (committed[n][0], n))
+        order.extend(component)
+    return order

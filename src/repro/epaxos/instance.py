@@ -1,0 +1,56 @@
+"""Per-instance EPaxos state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional
+
+from .messages import Ballot, InstanceId
+
+# Instance status values, in increasing order of knowledge.
+NONE = "none"
+PREACCEPTED = "preaccepted"
+ACCEPTED = "accepted"
+COMMITTED = "committed"
+EXECUTED = "executed"
+
+_ORDER = {NONE: 0, PREACCEPTED: 1, ACCEPTED: 2, COMMITTED: 3, EXECUTED: 4}
+
+
+def status_at_least(status: str, floor: str) -> bool:
+    return _ORDER[status] >= _ORDER[floor]
+
+
+@dataclass
+class Instance:
+    """Everything a replica knows about one consensus instance."""
+
+    instance_id: InstanceId
+    ballot: Ballot
+    command: Any = None
+    seq: int = 0
+    deps: FrozenSet[InstanceId] = frozenset()
+    status: str = NONE
+
+    # Leader-side bookkeeping for the ongoing round:
+    preaccept_replies: int = 0
+    preaccept_unanimous: bool = True
+    accept_replies: int = 0
+    merged_seq: int = 0
+    merged_deps: FrozenSet[InstanceId] = frozenset()
+    prepare_replies: Optional[list] = None
+
+    def promote(self, status: str) -> None:
+        if _ORDER[status] < _ORDER[self.status]:
+            raise ValueError(
+                f"instance {self.instance_id} cannot regress"
+                f" {self.status} -> {status}")
+        self.status = status
+
+    @property
+    def is_committed(self) -> bool:
+        return status_at_least(self.status, COMMITTED)
+
+    @property
+    def is_executed(self) -> bool:
+        return self.status == EXECUTED

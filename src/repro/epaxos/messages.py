@@ -1,0 +1,92 @@
+"""EPaxos message types (Moraru et al., SOSP 2013).
+
+Colony runs EPaxos inside each peer group to agree on the *visibility
+order* of transactions (paper section 5.1.4).  The implementation is
+leaderless: any member acts as command leader for the transactions it
+proposes, non-interfering commands commit in one round trip (fast path),
+interfering ones fall back to a Paxos-Accept round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Optional, Tuple
+
+# Instance identifier: (replica id, slot number).
+InstanceId = Tuple[str, int]
+
+# Ballot: (epoch counter, replica id) — replica id breaks ties.
+Ballot = Tuple[int, str]
+
+INITIAL_BALLOT_EPOCH = 0
+
+
+def initial_ballot(leader: str) -> Ballot:
+    return (INITIAL_BALLOT_EPOCH, leader)
+
+
+@dataclass(frozen=True)
+class PreAccept:
+    instance: InstanceId
+    ballot: Ballot
+    command: Any
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+@dataclass(frozen=True)
+class PreAcceptReply:
+    instance: InstanceId
+    ballot: Ballot
+    ok: bool
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+@dataclass(frozen=True)
+class Accept:
+    instance: InstanceId
+    ballot: Ballot
+    command: Any
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+@dataclass(frozen=True)
+class AcceptReply:
+    instance: InstanceId
+    ballot: Ballot
+    ok: bool
+
+
+@dataclass(frozen=True)
+class Commit:
+    instance: InstanceId
+    command: Any
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Recovery: take over an instance with a higher ballot."""
+
+    instance: InstanceId
+    ballot: Ballot
+
+
+@dataclass(frozen=True)
+class PrepareReply:
+    instance: InstanceId
+    ballot: Ballot
+    ok: bool
+    # Highest state the replier has accepted for the instance:
+    status: str                       # "none"|"preaccepted"|"accepted"|...
+    accepted_ballot: Optional[Ballot]
+    command: Any
+    seq: int
+    deps: FrozenSet[InstanceId]
+
+
+EPaxosMessage = (PreAccept, PreAcceptReply, Accept, AcceptReply, Commit,
+                 Prepare, PrepareReply)

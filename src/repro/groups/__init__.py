@@ -1,0 +1,16 @@
+"""Peer groups (edge SI zones) and collaboration groups."""
+
+from .collaboration import CollaborationGroup, VersionHistory
+from .messages import (GroupCommitAck, GroupFetch, GroupFetchReply,
+                       GroupMsg, GroupRelayPush, GroupSeed,
+                       InterestAnnounce, JoinGroup, LeaveGroup,
+                       MembershipUpdate, TxnPull, TxnPushMsg)
+from .peergroup import GroupMember, form_group
+
+__all__ = [
+    "GroupMember", "form_group",
+    "CollaborationGroup", "VersionHistory",
+    "GroupMsg", "JoinGroup", "LeaveGroup", "MembershipUpdate",
+    "GroupSeed", "InterestAnnounce", "GroupFetch", "GroupFetchReply",
+    "GroupRelayPush", "GroupCommitAck", "TxnPull", "TxnPushMsg",
+]

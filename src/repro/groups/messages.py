@@ -1,0 +1,109 @@
+"""Peer-group wire messages (paper section 5.1).
+
+Groups communicate point-to-point (WebRTC in the real system): EPaxos
+traffic is wrapped in :class:`GroupMsg`; membership flows through the
+parent; the collaborative cache uses fetch/pull messages; the sync point
+relays DC pushes and commit acknowledgements into the group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GroupMsg:
+    """Envelope for EPaxos messages between group members."""
+
+    group_id: str
+    epoch: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class JoinGroup:
+    node_id: str
+    interest: Tuple[Tuple[dict, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class LeaveGroup:
+    node_id: str
+
+
+@dataclass(frozen=True)
+class MembershipUpdate:
+    group_id: str
+    epoch: int
+    parent: str
+    members: Tuple[str, ...]
+    session_key_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GroupSeed:
+    """Joining-member bootstrap: committed consensus instances so far."""
+
+    group_id: str
+    epoch: int
+    # ((instance_id, txn_dict-or-None, seq, deps-tuple), ...) — committed.
+    instances: Tuple[Tuple[Tuple[str, int], Optional[dict], int,
+                           Tuple[Tuple[str, int], ...]], ...]
+    stable_vector: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class InterestAnnounce:
+    """A member publishes its interest set to the group (section 5.1.2)."""
+
+    member: str
+    add: Tuple[Tuple[dict, str], ...] = ()
+    remove: Tuple[dict, ...] = ()
+
+
+@dataclass(frozen=True)
+class GroupFetch:
+    """Collaborative-cache read: fetch an object from a neighbour."""
+
+    key: dict
+    type_name: str
+    requester: str
+
+
+@dataclass(frozen=True)
+class GroupFetchReply:
+    key: dict
+    object_state: Optional[dict]
+    state_vector: Dict[str, int]
+    from_cache: bool
+
+
+@dataclass(frozen=True)
+class GroupRelayPush:
+    """Sync point relays a DC update push into the group."""
+
+    txns: Tuple[dict, ...]
+    stable_vector: Dict[str, int]
+    prev_vector: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class GroupCommitAck:
+    """Sync point relays a DC commit acknowledgement into the group."""
+
+    dot: dict
+    entries: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class TxnPull:
+    """Request missing transactions by dot (section 5.1.2 pull)."""
+
+    requester: str
+    dots: Tuple[dict, ...]
+
+
+@dataclass(frozen=True)
+class TxnPushMsg:
+    txns: Tuple[dict, ...]

@@ -1,0 +1,732 @@
+"""Peer groups: edge SI zones with a collaborative cache (paper section 5.1).
+
+A peer group is a set of well-connected edge nodes.  Within the group:
+
+* every member runs an :class:`~repro.epaxos.EPaxosReplica`; the agreed
+  execution order is the group's **visibility order** — transactions become
+  visible group-wide in that sequence, making the group an SI zone;
+* the *parent* member doubles as the group's **sync point**: it holds the
+  only DC session (interest set = union of the members'), ships executed
+  transactions to the DC in visibility order, and relays DC pushes and
+  commit acknowledgements back into the group;
+* members fetch uncached objects from the parent's collaborative cache
+  before falling back to the DC (the peer-group hits of Figure 5), and
+  pull missing transactions from neighbours by dot.
+
+Two commit variants (section 5.1.4):
+
+* ``"async"`` (default, used in the paper's evaluation): a transaction
+  commits locally at once; consensus runs in the background;
+* ``"psi"``: consensus sits on the critical path; a transaction whose
+  writes conflict with one ordered after its snapshot aborts, giving
+  Parallel Snapshot Isolation.  The conflict test is a deterministic
+  function of the visibility order, so every member reaches the same
+  verdict without further communication.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from typing import (Any, Callable, Dict, Deque, List, Optional, Set,
+                    Tuple)
+
+from ..core.clock import VectorClock
+from ..core.dot import Dot
+from ..core.txn import CommitStamp, ObjectKey, Transaction
+from ..dc.messages import EdgeCommit, ObjectResponse, UpdatePush
+from ..edge.node import EdgeNode, _RunningTxn
+from ..epaxos.messages import InstanceId
+from ..epaxos.replica import EPaxosReplica
+from ..sim.events import EventLoop
+from ..sim.network import Network
+from .messages import (GroupCommitAck, GroupFetch, GroupFetchReply,
+                       GroupMsg, GroupRelayPush, GroupSeed,
+                       InterestAnnounce, JoinGroup, LeaveGroup,
+                       MembershipUpdate, TxnPull, TxnPushMsg)
+
+
+def _txn_conflict_keys(txn_dict: dict) -> List[Tuple[str, str]]:
+    """EPaxos interference keys: the objects a transaction writes."""
+    return [(w["key"]["bucket"], w["key"]["key"])
+            for w in txn_dict["writes"]]
+
+
+class GroupMember(EdgeNode):
+    """An edge node that participates in a peer group."""
+
+    MAINTENANCE_MS = 100.0
+    RESEND_AFTER_MS = 250.0
+    RECOVER_AFTER_MS = 800.0
+    SHIP_RETRY_MS = 500.0
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 dc_id: str, group_id: str, parent_id: str,
+                 commit_variant: str = "async",
+                 cache_capacity: Optional[int] = None,
+                 user: Optional[str] = None,
+                 security_enabled: bool = False,
+                 rng: Optional[random.Random] = None):
+        super().__init__(node_id, loop, network, dc_id,
+                         cache_capacity=cache_capacity, user=user,
+                         security_enabled=security_enabled, rng=rng)
+        if commit_variant not in ("async", "psi"):
+            raise ValueError("commit_variant must be 'async' or 'psi'")
+        self.group_id = group_id
+        self.parent_id = parent_id
+        self.commit_variant = commit_variant
+        self.epoch = 0
+        self.members: Tuple[str, ...] = ()
+        self.replica: Optional[EPaxosReplica] = None
+        self.group_offline = False
+        # Visibility pipeline.
+        self._exec_queue: Deque[Transaction] = deque()
+        self._exec_seen: Set[Dot] = set()
+        self.visibility_log: List[Transaction] = []
+        self._aborted_dots: Set[Dot] = set()
+        # PSI-variant transactions awaiting their consensus slot.
+        self._psi_pending: Dict[Dot, Tuple[_RunningTxn, Any,
+                                           Transaction]] = {}
+        # Sync-point state (active when self is the parent).
+        self._ship_queue: "OrderedDict[Dot, Transaction]" = OrderedDict()
+        self._ship_sent_at: Dict[Dot, float] = {}
+        self._member_interest: Dict[str, Dict[ObjectKey, str]] = {}
+        self._member_fetch_waiting: Dict[ObjectKey, List[str]] = {}
+        # Liveness bookkeeping.
+        self._own_instances: Dict[InstanceId, float] = {}
+        self._blocked_since: Dict[InstanceId, float] = {}
+        self._pull_pending: Dict[Dot, float] = {}
+        self._last_resync = -1e9
+        # Vector advancement gating across fetch replies (see
+        # _note_reply_vector).
+        self._pending_vector = VectorClock.zero()
+        self._resync_expect: Set[ObjectKey] = set()
+        self._resync_started = -1e9
+        self.on_group_event: Optional[Callable[[str, str], None]] = None
+        self.every(self.MAINTENANCE_MS, self._group_maintenance,
+                   jitter=20.0)
+
+    # ------------------------------------------------------------------
+    # roles
+    # ------------------------------------------------------------------
+    @property
+    def is_parent(self) -> bool:
+        return self.node_id == self.parent_id
+
+    @property
+    def in_group(self) -> bool:
+        return self.replica is not None
+
+    def connect(self) -> None:
+        # Only the sync point (parent) talks to the DC directly.
+        if self.is_parent or not self.in_group:
+            super().connect()
+
+    def _retry_unacked(self) -> None:
+        # Shipping (with retries) is the sync point's job, in visibility
+        # order; the base per-node retry would break that order.
+        if not self.in_group:
+            super()._retry_unacked()
+
+    def _resend_pending(self, dc_id: str) -> None:
+        if not self.in_group:
+            super()._resend_pending(dc_id)
+            return
+        if self.is_parent:
+            for dot, txn in self._ship_queue.items():
+                self.send(dc_id, EdgeCommit(txn.to_dict()),
+                          size_bytes=txn.byte_size())
+                self._ship_sent_at[dot] = self.now
+
+    # ------------------------------------------------------------------
+    # group bootstrap / membership
+    # ------------------------------------------------------------------
+    def init_group(self, members: Tuple[str, ...], epoch: int = 0) -> None:
+        """Install the roster and start the consensus replica."""
+        self.members = tuple(sorted(members))
+        self.epoch = epoch
+        if self.replica is None:
+            self.replica = EPaxosReplica(
+                self.node_id, list(self.members),
+                keys_of=_txn_conflict_keys,
+                on_execute=self._on_consensus_execute,
+                send=self._send_consensus)
+            # Migrating in with pending commits (section 5.2): they stay
+            # logged until they can be merged into the DC — re-propose
+            # them through the new group's consensus so its sync point
+            # ships them (duplicate dots are filtered everywhere).
+            for txn in self.unacked.values():
+                if txn.commit.is_symbolic:
+                    self._propose_txn(txn)
+        else:
+            self.replica.set_members(list(self.members))
+
+    def join_group(self) -> None:
+        """Ask the group's parent to admit this node (section 5.1.1)."""
+        interest = tuple((k.to_dict(), t)
+                         for k, t in self._interest_types.items())
+        self.send(self.parent_id, JoinGroup(self.node_id, interest))
+
+    def leave_group(self) -> None:
+        self.send(self.parent_id, LeaveGroup(self.node_id))
+        self.members = ()
+        self.replica = None
+        # Fall back to a direct DC session.
+        self.connect()
+
+    def _on_join(self, msg: JoinGroup, sender: str) -> None:
+        if not self.is_parent:
+            return
+        if msg.node_id not in self.members:
+            self.epoch += 1
+            self.init_group(self.members + (msg.node_id,), self.epoch)
+        update = MembershipUpdate(self.group_id, self.epoch, self.node_id,
+                                  self.members)
+        for member in self.members:
+            if member != self.node_id:
+                self.send(member, update)
+        # Bootstrap the newcomer with the agreed consensus prefix.
+        assert self.replica is not None
+        instances = tuple(
+            (iid, cmd, seq, tuple(sorted(deps)))
+            for iid, cmd, seq, deps in self.replica.committed_instances())
+        self.send(msg.node_id, GroupSeed(self.group_id, self.epoch,
+                                         instances, self.vector.to_dict()))
+        # Adopt (and forward to the DC) the newcomer's interest set.
+        self._absorb_interest(msg.node_id, msg.interest)
+        if self.on_group_event is not None:
+            self.on_group_event("join", msg.node_id)
+
+    def _on_leave(self, msg: LeaveGroup, sender: str) -> None:
+        if not self.is_parent or msg.node_id not in self.members:
+            return
+        self.epoch += 1
+        roster = tuple(m for m in self.members if m != msg.node_id)
+        self.init_group(roster, self.epoch)
+        self._member_interest.pop(msg.node_id, None)
+        update = MembershipUpdate(self.group_id, self.epoch, self.node_id,
+                                  roster)
+        for member in roster:
+            if member != self.node_id:
+                self.send(member, update)
+        if self.on_group_event is not None:
+            self.on_group_event("leave", msg.node_id)
+
+    def _on_membership(self, msg: MembershipUpdate, sender: str) -> None:
+        if msg.group_id != self.group_id or msg.epoch < self.epoch:
+            return
+        self.parent_id = msg.parent
+        if self.node_id in msg.members:
+            self.init_group(msg.members, msg.epoch)
+        if self.on_group_event is not None:
+            self.on_group_event("membership", sender)
+
+    def _on_group_seed(self, msg: GroupSeed, sender: str) -> None:
+        if self.replica is None:
+            return
+        for iid, cmd, seq, deps in msg.instances:
+            self.replica.seed_committed(tuple(iid), cmd, seq,
+                                        frozenset(tuple(d) for d in deps),
+                                        executed=True)
+            if cmd is not None:
+                self._exec_seen.add(Dot.from_dict(cmd["dot"]))
+
+    def _absorb_interest(self, member: str,
+                         interest: Tuple[Tuple[dict, str], ...]) -> None:
+        """Parent: union a member's interest into the DC session."""
+        table = self._member_interest.setdefault(member, {})
+        for key_dict, type_name in interest:
+            key = ObjectKey.from_dict(key_dict)
+            table[key] = type_name
+            self.declare_interest(key, type_name)
+
+    # ------------------------------------------------------------------
+    # consensus plumbing
+    # ------------------------------------------------------------------
+    def _send_consensus(self, dst: str, payload: Any) -> None:
+        if self.group_offline:
+            return
+        self.send(dst, GroupMsg(self.group_id, self.epoch, payload),
+                  size_bytes=64)
+
+    def _propose_txn(self, txn: Transaction) -> None:
+        assert self.replica is not None
+        instance_id = self.replica.propose(txn.to_dict())
+        self._own_instances[instance_id] = self.now
+
+    # ------------------------------------------------------------------
+    # commit paths
+    # ------------------------------------------------------------------
+    def after_commit(self, txn: Transaction) -> None:
+        """Variant "async": local commit done; order in the background."""
+        if self.in_group:
+            self._propose_txn(txn)
+
+    def _finish_txn(self, running: _RunningTxn, result: Any) -> None:
+        ctx = running.ctx
+        if (self.commit_variant != "psi" or ctx.is_read_only
+                or not self.in_group):
+            super()._finish_txn(running, result)
+            return
+        # PSI: consensus on the critical path of commitment.
+        dot = Dot(self.lamport.tick(), self.node_id)
+        txn = Transaction(dot=dot, origin=self.node_id,
+                          snapshot=ctx.snapshot, commit=CommitStamp(),
+                          writes=list(ctx.writes), issuer=self.user)
+        self._psi_pending[dot] = (running, result, txn)
+        self._propose_txn(txn)
+
+    def _apply_psi_commit(self, txn: Transaction) -> None:
+        """Own PSI transaction reached its slot without conflict: apply."""
+        running, result, _ = self._psi_pending.pop(txn.dot)
+        self.dots.observe(txn.dot)
+        self._txn_by_dot[txn.dot] = txn
+        self.cache.apply_transaction(txn)
+        self._uncovered[txn.dot] = txn
+        self.unacked[txn.dot] = txn
+        self._notify_subscribers([k for k in txn.keys
+                                  if k in self._interest_types])
+        stats = self._record_stats(running.ctx)
+        if running.on_done is not None:
+            running.on_done(result, stats)
+
+    def _abort_psi(self, txn: Transaction) -> None:
+        pending = self._psi_pending.pop(txn.dot, None)
+        self._aborted_dots.add(txn.dot)
+        if pending is None:
+            return
+        running, _result, _ = pending
+        self._record_stats(running.ctx, aborted=True)
+        if running.on_abort is not None:
+            running.on_abort(Exception("psi-conflict"))
+
+    # ------------------------------------------------------------------
+    # visibility pipeline: consensus execution -> integration -> ship
+    # ------------------------------------------------------------------
+    def _on_consensus_execute(self, cmd: dict,
+                              instance_id: InstanceId) -> None:
+        self._own_instances.pop(instance_id, None)
+        self._blocked_since.pop(instance_id, None)
+        txn = Transaction.from_dict(cmd)
+        if txn.dot in self._exec_seen:
+            return  # duplicate proposal of the same transaction
+        self._exec_seen.add(txn.dot)
+        self._exec_queue.append(txn)
+        self._drain_exec_queue()
+
+    def _psi_conflicts(self, txn: Transaction) -> bool:
+        """Deterministic PSI check: a conflicting txn sits between this
+        transaction's snapshot and its visibility slot."""
+        for prior in reversed(self.visibility_log):
+            if not prior.conflicts_with(txn):
+                continue
+            if prior.dot in txn.snapshot.local_deps:
+                continue
+            if not prior.commit.is_symbolic \
+                    and prior.commit.included_in(txn.snapshot.vector):
+                continue
+            return True
+        return False
+
+    def _drain_exec_queue(self) -> None:
+        while self._exec_queue:
+            txn = self._exec_queue[0]
+            if self.commit_variant == "psi" \
+                    and txn.dot not in self._aborted_dots:
+                if self._psi_conflicts(txn):
+                    self._exec_queue.popleft()
+                    self._abort_psi(txn)
+                    continue
+            if txn.dot in self._psi_pending:
+                self._exec_queue.popleft()
+                self.visibility_log.append(txn)
+                self._apply_psi_commit(txn)
+                self._after_visible(txn)
+                continue
+            if self.dots.seen(txn.dot):
+                # Already integrated (own txn, or arrived via DC push).
+                self._exec_queue.popleft()
+                self.visibility_log.append(txn)
+                self._after_visible(txn)
+                continue
+            if self.integrate_foreign_txn(txn):
+                self._exec_queue.popleft()
+                self.visibility_log.append(txn)
+                self._after_visible(txn)
+                continue
+            # Blocked on missing causal dependencies: pull them.
+            self._request_missing(txn)
+            return
+
+    def _after_visible(self, txn: Transaction) -> None:
+        """Sync point: ship in visibility order (section 5.1.3)."""
+        if not self.is_parent:
+            return
+        known = self._txn_by_dot.get(txn.dot, txn)
+        if not known.commit.is_symbolic:
+            return  # the DC already assigned its timestamp
+        self._ship_queue[txn.dot] = known
+        if self.session_open and not self.offline:
+            self.send(self.connected_dc, EdgeCommit(known.to_dict()),
+                      size_bytes=known.byte_size())
+            self._ship_sent_at[txn.dot] = self.now
+
+    def _request_missing(self, txn: Transaction) -> None:
+        missing = [d for d in txn.snapshot.local_deps
+                   if not self._covers.seen(d)]
+        # A missing dependency may already sit later in our own execution
+        # queue (consensus may order a causal child of a conflicting pair
+        # first): integrate it directly — causal order is the binding
+        # constraint, and its own slot later deduplicates by dot.
+        by_dot = {queued.dot: queued for queued in self._exec_queue}
+        integrated = False
+        for dot in list(missing):
+            queued = by_dot.get(dot)
+            if queued is not None and self.integrate_foreign_txn(queued):
+                missing.remove(dot)
+                integrated = True
+        if integrated and not missing:
+            self._drain_exec_queue()
+            return
+        targets = [self.parent_id] if not self.is_parent else []
+        if not targets:
+            targets = [m for m in self.members if m != self.node_id][:2]
+        now = self.now
+        to_pull = [d for d in missing
+                   if now - self._pull_pending.get(d, -1e9) > 200.0]
+        if not to_pull:
+            return
+        for dot in to_pull:
+            self._pull_pending[dot] = now
+        pull = TxnPull(self.node_id, tuple(d.to_dict() for d in to_pull))
+        for target in targets:
+            self.send(target, pull)
+
+    # ------------------------------------------------------------------
+    # collaborative cache (section 5.1.2)
+    # ------------------------------------------------------------------
+    def declare_interest(self, key: ObjectKey, type_name: str) -> None:
+        already = key in self._interest_types
+        super().declare_interest(key, type_name)
+        if already or not self.in_group or self.is_parent:
+            return
+        # Publish the interest to the parent, which subscribes with the
+        # DC on the whole group's behalf (section 5.1.2).
+        if not self.group_offline:
+            self.send(self.parent_id, InterestAnnounce(
+                self.node_id, add=((key.to_dict(), type_name),)))
+
+    def fetch_object(self, key: ObjectKey, type_name: str, ctx) -> None:
+        if self.is_parent or not self.in_group:
+            super().fetch_object(key, type_name, ctx)
+            return
+        ctx.note_serving("peer")
+        if not self.group_offline:
+            self.send(self.parent_id,
+                      GroupFetch(key.to_dict(), type_name, self.node_id))
+
+    def _on_group_fetch(self, msg: GroupFetch, sender: str) -> None:
+        key = ObjectKey.from_dict(msg.key)
+        journal = self.cache.store.journal(key)
+        # Serve only warm (seeded, hole-free) objects from the cache.
+        if journal is not None and key in self._warm:
+            vector = self.vector
+
+            def visible(entry) -> bool:
+                return entry.txn.commit.included_in(vector)
+
+            state = {
+                "key": key.to_dict(),
+                "type": msg.type_name,
+                "base": journal.materialise(visible).to_dict(),
+                "base_dots": [d.to_dict() for d in
+                              sorted(journal.visible_dots(visible))],
+            }
+            self.send(msg.requester, GroupFetchReply(
+                msg.key, state, vector.to_dict(), True))
+            return
+        # Not cached here: escalate to the DC on the member's behalf.
+        self._member_fetch_waiting.setdefault(key, []).append(msg.requester)
+        self.declare_interest(key, msg.type_name)
+        if self.session_open and not self.offline:
+            from ..dc.messages import ObjectRequest
+            self.send(self.connected_dc,
+                      ObjectRequest(self.node_id, key.to_dict(),
+                                    msg.type_name, self.vector.to_dict()))
+
+    def _on_object_response(self, msg: ObjectResponse, sender: str) -> None:
+        super()._on_object_response(msg, sender)
+        key = ObjectKey.from_dict(msg.object_state["key"])
+        waiting = self._member_fetch_waiting.pop(key, [])
+        for member in waiting:
+            self.send(member, GroupFetchReply(
+                key.to_dict(), msg.object_state,
+                msg.stable_vector, False))
+
+    def _on_group_fetch_reply(self, msg: GroupFetchReply,
+                              sender: str) -> None:
+        key = ObjectKey.from_dict(msg.key)
+        if not msg.from_cache:
+            for running in self._pending_fetches.get(key, ()):
+                running.ctx.note_serving("dc")
+        if msg.object_state is None:
+            return
+        self._install_seed(msg.object_state,
+                           VectorClock(msg.state_vector))
+        self._note_reply_vector(key, VectorClock(msg.state_vector))
+        self._resume_fetches(key)
+        self._drain_exec_queue()
+
+    def _note_reply_vector(self, key: ObjectKey,
+                           reply_vector: VectorClock) -> None:
+        """Advance the member vector only when every warm journal is
+        known to be complete up to it.
+
+        A single fetch reply may run ahead of the relays (notably across
+        a parent re-seed, whose jump is never relayed as individual
+        transactions); blindly merging its vector would declare coverage
+        of transactions the *other* journals never received.  Reads of
+        the freshly fetched key are already served through its per-key
+        cut; the global vector waits until a full warm-set resync
+        confirms completeness.
+        """
+        if reply_vector.leq(self.vector):
+            return
+        self._pending_vector = self._pending_vector.merge(reply_vector)
+        if self._resync_expect:
+            self._resync_expect.discard(key)
+            if not self._resync_expect:
+                self._advance_vector(self._pending_vector)
+            return
+        expect = (set(self._warm) | set(self._pending_fetches)) - {key}
+        if not expect:
+            self._advance_vector(self._pending_vector)
+            return
+        self._resync_expect = expect
+        self._resync_started = self.now
+        for missing in expect:
+            type_name = self._interest_types.get(missing, "counter")
+            self.send(self.parent_id,
+                      GroupFetch(missing.to_dict(), type_name,
+                                 self.node_id))
+
+    # ------------------------------------------------------------------
+    # sync-point relays
+    # ------------------------------------------------------------------
+    def _on_update_push(self, msg: UpdatePush, sender: str) -> None:
+        super()._on_update_push(msg, sender)
+        if self.is_parent and self.in_group and not self.group_offline:
+            relay = GroupRelayPush(msg.txns, msg.stable_vector,
+                                   msg.prev_vector)
+            for member in self.members:
+                if member != self.node_id:
+                    self.send(member, relay)
+        self._drain_exec_queue()
+
+    def _on_relay_push(self, msg: GroupRelayPush, sender: str) -> None:
+        super()._on_update_push(
+            UpdatePush(msg.txns, msg.stable_vector, msg.prev_vector),
+            sender)
+        self._drain_exec_queue()
+
+    def _handle_push_gap(self, sender: str) -> None:
+        """A missed delta: members re-seed from the parent's cache."""
+        if self.is_parent or not self.in_group:
+            super()._handle_push_gap(sender)
+            return
+        self._resync_from_parent()
+
+    def _resync_from_parent(self) -> None:
+        now = self.now
+        if now - self._last_resync < 500.0:
+            return
+        self._last_resync = now
+        if self.group_offline:
+            return
+        keys = set(self._warm) | set(self._pending_fetches)
+        if not keys:
+            return
+        self._resync_expect = set(keys)
+        self._resync_started = now
+        for key in keys:
+            type_name = self._interest_types.get(key, "counter")
+            self.send(self.parent_id,
+                      GroupFetch(key.to_dict(), type_name, self.node_id))
+
+    def _on_commit_ack(self, msg, sender: str) -> None:
+        super()._on_commit_ack(msg, sender)
+        dot = Dot.from_dict(msg.dot)
+        if self.is_parent and self.in_group:
+            self._ship_queue.pop(dot, None)
+            self._ship_sent_at.pop(dot, None)
+            relay = GroupCommitAck(msg.dot, msg.entries)
+            for member in self.members:
+                if member != self.node_id:
+                    self.send(member, relay)
+
+    def _on_group_commit_ack(self, msg: GroupCommitAck,
+                             sender: str) -> None:
+        txn = self._txn_by_dot.get(Dot.from_dict(msg.dot))
+        if txn is None:
+            return
+        for dc, ts in msg.entries.items():
+            if dc not in txn.commit.entries:
+                txn.commit.add_entry(dc, ts)
+        self.unacked.pop(txn.dot, None)
+
+    # ------------------------------------------------------------------
+    # transaction pulls
+    # ------------------------------------------------------------------
+    def _on_txn_pull(self, msg: TxnPull, sender: str) -> None:
+        queued = {txn.dot: txn for txn in self._exec_queue}
+        found = []
+        for dot_dict in msg.dots:
+            dot = Dot.from_dict(dot_dict)
+            txn = self._txn_by_dot.get(dot) or queued.get(dot)
+            if txn is not None:
+                found.append(txn.to_dict())
+        if found:
+            self.send(msg.requester, TxnPushMsg(tuple(found)))
+
+    def _on_txn_push(self, msg: TxnPushMsg, sender: str) -> None:
+        for txn_dict in msg.txns:
+            txn = Transaction.from_dict(txn_dict)
+            self._pull_pending.pop(txn.dot, None)
+            self.integrate_foreign_txn(txn)
+        self._drain_exec_queue()
+
+    # ------------------------------------------------------------------
+    # group connectivity injection (benchmark scenarios)
+    # ------------------------------------------------------------------
+    def disconnect_from_group(self) -> None:
+        """Drop out of the group's network (Figure 6 scenario)."""
+        self.group_offline = True
+
+    def reconnect_to_group(self) -> None:
+        self.group_offline = False
+        # Re-drive consensus for anything we proposed while away, and
+        # re-seed the cache: relays sent meanwhile were lost.
+        if self.replica is not None:
+            for instance_id in list(self._own_instances):
+                self.replica.resend(instance_id)
+        self._last_resync = -1e9
+        self._resync_from_parent()
+
+    # ------------------------------------------------------------------
+    # liveness maintenance
+    # ------------------------------------------------------------------
+    def _group_maintenance(self) -> None:
+        if self.replica is None or self.group_offline:
+            return
+        now = self.now
+        for instance_id, created in list(self._own_instances.items()):
+            if now - created > self.RESEND_AFTER_MS:
+                self.replica.resend(instance_id)
+                self._own_instances[instance_id] = now
+        blocked = self.replica.uncommitted_dependencies()
+        for instance_id in blocked:
+            since = self._blocked_since.setdefault(instance_id, now)
+            if now - since > self.RECOVER_AFTER_MS:
+                self.replica.recover(instance_id)
+                self._blocked_since[instance_id] = now
+        for instance_id in list(self._blocked_since):
+            if instance_id not in blocked:
+                del self._blocked_since[instance_id]
+        # Re-drive a stalled warm-set resync (lost fetch replies).
+        if self._resync_expect and now - self._resync_started > 1500.0 \
+                and not self.group_offline:
+            self._resync_started = now
+            for missing in self._resync_expect:
+                type_name = self._interest_types.get(missing, "counter")
+                self.send(self.parent_id,
+                          GroupFetch(missing.to_dict(), type_name,
+                                     self.node_id))
+        if self.is_parent and self.session_open and not self.offline:
+            for dot, txn in self._ship_queue.items():
+                sent = self._ship_sent_at.get(dot, -1e9)
+                if now - sent > self.SHIP_RETRY_MS:
+                    self.send(self.connected_dc,
+                              EdgeCommit(txn.to_dict()),
+                              size_bytes=txn.byte_size())
+                    self._ship_sent_at[dot] = now
+        if self._exec_queue:
+            self._drain_exec_queue()
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def on_extra_message(self, message: Any, sender: str) -> None:
+        if self.group_offline and isinstance(
+                message, (GroupMsg, GroupRelayPush, GroupCommitAck,
+                          GroupFetch, GroupFetchReply, GroupSeed,
+                          MembershipUpdate, InterestAnnounce, TxnPull,
+                          TxnPushMsg)):
+            return  # dropped: the member is cut off from its group
+        if isinstance(message, GroupMsg):
+            if self.replica is None:
+                return
+            self.replica.handle(message.payload, sender)
+            self._drain_exec_queue()
+        elif isinstance(message, JoinGroup):
+            self._on_join(message, sender)
+        elif isinstance(message, LeaveGroup):
+            self._on_leave(message, sender)
+        elif isinstance(message, MembershipUpdate):
+            self._on_membership(message, sender)
+        elif isinstance(message, GroupSeed):
+            self._on_group_seed(message, sender)
+        elif isinstance(message, InterestAnnounce):
+            self._absorb_interest(message.member, message.add)
+        elif isinstance(message, GroupFetch):
+            self._on_group_fetch(message, sender)
+        elif isinstance(message, GroupFetchReply):
+            self._on_group_fetch_reply(message, sender)
+        elif isinstance(message, GroupRelayPush):
+            self._on_relay_push(message, sender)
+        elif isinstance(message, GroupCommitAck):
+            self._on_group_commit_ack(message, sender)
+        elif isinstance(message, TxnPull):
+            self._on_txn_pull(message, sender)
+        elif isinstance(message, TxnPushMsg):
+            self._on_txn_push(message, sender)
+        else:
+            super().on_extra_message(message, sender)
+
+    # Group commits ship via the sync point in visibility order; suppress
+    # the base class's direct-to-DC send (even on the parent).
+    def _commit_local(self, ctx) -> Transaction:
+        if not self.in_group:
+            return super()._commit_local(ctx)
+        was_open = self.session_open
+        self.session_open = False
+        try:
+            return super()._commit_local(ctx)
+        finally:
+            self.session_open = was_open
+
+
+def form_group(members: List[GroupMember]) -> None:
+    """Bootstrap a peer group out-of-band (initial deployment).
+
+    All nodes must share ``group_id`` and agree on the parent; the parent
+    learns every member's interest set and opens the DC session.
+    """
+    if not members:
+        raise ValueError("a group needs at least one member")
+    group_id = members[0].group_id
+    parent_id = members[0].parent_id
+    roster = tuple(sorted(m.node_id for m in members))
+    parent = None
+    for member in members:
+        if member.group_id != group_id or member.parent_id != parent_id:
+            raise ValueError("members disagree on group configuration")
+        member.init_group(roster)
+        if member.is_parent:
+            parent = member
+    if parent is None:
+        raise ValueError("the parent must be one of the members")
+    for member in members:
+        interest = tuple((k.to_dict(), t)
+                         for k, t in member._interest_types.items())
+        parent._absorb_interest(member.node_id, interest)
+    parent.connect()

@@ -1,0 +1,15 @@
+"""Collaborative security: ACLs, right inheritance, keys, masking."""
+
+from .acl import OWN, READ, UPDATE, AclState
+from .crypto import (KeyService, SessionKey, decrypt, encrypt, sign,
+                     verify)
+from .enforcement import (ACL_OBJECT, RI_OBJECTS, RI_USERS,
+                          SECURITY_BUCKET, SecurityEnforcer,
+                          acl_object_name, decode_acl, encode_acl)
+
+__all__ = [
+    "AclState", "READ", "UPDATE", "OWN",
+    "KeyService", "SessionKey", "encrypt", "decrypt", "sign", "verify",
+    "SecurityEnforcer", "SECURITY_BUCKET", "ACL_OBJECT", "RI_OBJECTS",
+    "RI_USERS", "encode_acl", "decode_acl", "acl_object_name",
+]

@@ -1,0 +1,115 @@
+"""Access-control lists with right inheritance (paper section 6.4).
+
+An ACL is a tuple from *objects x users x permissions*.  Right inheritance
+(RI) is modelled by two forests, one over objects and one over users: a
+user inherits the ACLs of its ancestor, and an ACL granted on an object
+also holds for objects inheriting from it.  Checking a permission
+evaluates a predicate over the ACL and RI relations — e.g. the paper's
+
+    (book, shelf) in RI  and  (shelf, Bob, read) in ACL
+
+grants Bob read access to the book.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+# Canonical permission names (free-form strings are allowed too).
+READ = "read"
+UPDATE = "update"
+OWN = "own"
+
+AclTuple = Tuple[str, str, str]  # (object, user, permission)
+
+
+class AclState:
+    """The ACL and RI relations, plus the permission predicate."""
+
+    def __init__(self) -> None:
+        self._acl: Set[AclTuple] = set()
+        # child -> parent in the inheritance forests.
+        self._object_parent: Dict[str, str] = {}
+        self._user_parent: Dict[str, str] = {}
+
+    # -- mutation (driven by visible security transactions) -----------------
+    def grant(self, obj: str, user: str, permission: str) -> None:
+        self._acl.add((obj, user, permission))
+
+    def revoke(self, obj: str, user: str, permission: str) -> None:
+        self._acl.discard((obj, user, permission))
+
+    def set_object_parent(self, child: str, parent: Optional[str]) -> None:
+        """Link an object under ``parent`` in the RI forest (None unlinks)."""
+        if parent is None:
+            self._object_parent.pop(child, None)
+            return
+        self._check_acyclic(self._object_parent, child, parent)
+        self._object_parent[child] = parent
+
+    def set_user_parent(self, child: str, parent: Optional[str]) -> None:
+        if parent is None:
+            self._user_parent.pop(child, None)
+            return
+        self._check_acyclic(self._user_parent, child, parent)
+        self._user_parent[child] = parent
+
+    @staticmethod
+    def _check_acyclic(forest: Dict[str, str], child: str,
+                       parent: str) -> None:
+        node: Optional[str] = parent
+        while node is not None:
+            if node == child:
+                raise ValueError(
+                    f"linking {child!r} under {parent!r} creates a cycle")
+            node = forest.get(node)
+
+    # -- queries ------------------------------------------------------------
+    def _ancestry(self, forest: Dict[str, str], node: str) -> List[str]:
+        chain = [node]
+        current = node
+        seen = {node}
+        while True:
+            parent = forest.get(current)
+            if parent is None or parent in seen:
+                break
+            chain.append(parent)
+            seen.add(parent)
+            current = parent
+        return chain
+
+    def object_ancestry(self, obj: str) -> List[str]:
+        return self._ancestry(self._object_parent, obj)
+
+    def user_ancestry(self, user: str) -> List[str]:
+        return self._ancestry(self._user_parent, user)
+
+    def check(self, obj: str, user: str, permission: str) -> bool:
+        """Does ``user`` hold ``permission`` on ``obj`` (with inheritance)?
+
+        Ownership implies every other permission.
+        """
+        users = self.user_ancestry(user)
+        for obj_node in self.object_ancestry(obj):
+            for user_node in users:
+                if (obj_node, user_node, permission) in self._acl:
+                    return True
+                if permission != OWN \
+                        and (obj_node, user_node, OWN) in self._acl:
+                    return True
+        return False
+
+    def tuples(self) -> Set[AclTuple]:
+        return set(self._acl)
+
+    def copy(self) -> "AclState":
+        other = AclState()
+        other._acl = set(self._acl)
+        other._object_parent = dict(self._object_parent)
+        other._user_parent = dict(self._user_parent)
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AclState({len(self._acl)} tuples,"
+                f" {len(self._object_parent)} obj links,"
+                f" {len(self._user_parent)} user links)")

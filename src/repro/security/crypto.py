@@ -1,0 +1,94 @@
+"""Session keys, signing and symmetric encryption (paper sections 2.4, 6.4).
+
+The untrusted cloud only transports and persists data; edge nodes encrypt
+end-to-end with per-object session keys handed out by the authentication
+service.  Updates are signed so receivers can verify provenance.
+
+This module is a *simulation-grade* implementation built only on the
+standard library: HMAC-SHA256 signatures (real) and a SHA256-CTR stream
+cipher (structurally a real cipher, but unreviewed — do not reuse outside
+the simulator).  The evaluation never measures crypto cost; what matters
+is the key-distribution and authorisation flow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from typing import Any, Dict
+
+
+class SessionKey:
+    """A symmetric key scoped to one object (or group session)."""
+
+    __slots__ = ("key_id", "secret")
+
+    def __init__(self, key_id: str, secret: bytes):
+        self.key_id = key_id
+        self.secret = secret
+
+    def __repr__(self) -> str:  # pragma: no cover - never print secrets
+        return f"SessionKey({self.key_id})"
+
+
+class KeyService:
+    """The cloud authentication service: issues and remembers session keys.
+
+    Keys remain valid across disconnection and reconnection (section 5.3),
+    so the service is deterministic: the same scope always yields the same
+    key within one deployment.
+    """
+
+    def __init__(self, deployment_secret: bytes = b"colony-deployment"):
+        self._root = deployment_secret
+        self._issued: Dict[str, SessionKey] = {}
+        self._revoked: set = set()
+
+    def issue(self, scope: str) -> SessionKey:
+        """Issue (or re-issue) the session key for a scope."""
+        if scope in self._revoked:
+            raise PermissionError(f"key scope {scope!r} was revoked")
+        key = self._issued.get(scope)
+        if key is None:
+            secret = hmac.new(self._root, scope.encode(),
+                              hashlib.sha256).digest()
+            key = SessionKey(scope, secret)
+            self._issued[scope] = key
+        return key
+
+    def revoke(self, scope: str) -> None:
+        self._issued.pop(scope, None)
+        self._revoked.add(scope)
+
+
+def _keystream(secret: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            secret + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def encrypt(key: SessionKey, plaintext: bytes, nonce: bytes) -> bytes:
+    """Stream-cipher encryption; decryption is the same operation."""
+    stream = _keystream(key.secret, nonce, len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, stream))
+
+
+def decrypt(key: SessionKey, ciphertext: bytes, nonce: bytes) -> bytes:
+    return encrypt(key, ciphertext, nonce)
+
+
+def sign(key: SessionKey, payload: Any) -> str:
+    """HMAC signature over a canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")).encode()
+    return hmac.new(key.secret, canonical, hashlib.sha256).hexdigest()
+
+
+def verify(key: SessionKey, payload: Any, signature: str) -> bool:
+    return hmac.compare_digest(sign(key, payload), signature)

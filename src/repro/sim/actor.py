@@ -1,0 +1,75 @@
+"""Actor base class: a protocol node driven by the simulation.
+
+Protocol logic lives in sans-io state machines; :class:`Actor` is the thin
+shell binding one to the event loop and the network.  Subclasses implement
+``on_message`` and may arm timers.  Fail-stop crashes are modelled by
+``crash()``: a crashed actor ignores everything (paper's failure model,
+section 3.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional
+
+from .events import Event, EventLoop
+from .network import Network
+
+
+class Actor:
+    """A named node attached to the simulated network."""
+
+    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+                 rng: Optional[random.Random] = None):
+        self.node_id = node_id
+        self.loop = loop
+        self.network = network
+        self.rng = rng or random.Random(0)
+        self.crashed = False
+        network.attach(node_id, self._receive)
+
+    # -- messaging ---------------------------------------------------------
+    def send(self, dst: str, message: Any, size_bytes: int = 0) -> bool:
+        if self.crashed:
+            return False
+        return self.network.send(self.node_id, dst, message, size_bytes)
+
+    def _receive(self, message: Any, sender: str) -> None:
+        if self.crashed:
+            return
+        self.on_message(message, sender)
+
+    def on_message(self, message: Any, sender: str) -> None:
+        raise NotImplementedError
+
+    # -- timers --------------------------------------------------------------
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Arm a timer; the callback is skipped if the actor crashed."""
+        def guarded() -> None:
+            if not self.crashed:
+                callback()
+        return self.loop.schedule(delay, guarded)
+
+    def every(self, period: float, callback: Callable[[], None],
+              jitter: float = 0.0) -> None:
+        """Run ``callback`` every ``period`` ms until the actor crashes."""
+        def tick() -> None:
+            if self.crashed:
+                return
+            callback()
+            delay = period + (self.rng.uniform(0, jitter) if jitter else 0.0)
+            self.loop.schedule(delay, tick)
+        self.loop.schedule(period, tick)
+
+    # -- failure ----------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop: cease executing permanently."""
+        self.crashed = True
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}({self.node_id}, {state})"

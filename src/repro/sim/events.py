@@ -1,0 +1,96 @@
+"""Event heap and simulation clock.
+
+Time is a float in **milliseconds**.  Determinism: ties on the heap break by
+a monotonically increasing sequence number, and all randomness must come
+from the simulation's seeded RNG, so a run is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback; cancellable."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventLoop:
+    """Priority-queue event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute ``time`` (>= now)."""
+        return self.schedule(max(0.0, time - self._now), callback)
+
+    def step(self) -> bool:
+        """Process the next event; False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Drain events, optionally stopping at a time or event budget."""
+        budget = max_events
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = until
+                return
+            if budget is not None:
+                if budget <= 0:
+                    return
+                budget -= 1
+            self.step()
+        if until is not None and until > self._now:
+            self._now = until
+
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

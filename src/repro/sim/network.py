@@ -1,0 +1,168 @@
+"""Simulated network: links, latency models, partitions.
+
+Substitutes the paper's testbed transports (RabbitMQ between DCs, WebRTC
+between peers, `tc` latency shaping): what the protocols observe is only
+latency, loss, FIFO-ness and partitions, all of which are modelled here.
+Default latencies follow the paper's setup (section 7.2): 0.15 ms
+intra-cluster, 10 ms carrier Ethernet, 50 ms mobile cellular.
+
+Links are FIFO per direction (TCP/WebRTC data channels are ordered): a
+message never overtakes an earlier one on the same directed link.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from .events import EventLoop
+
+# Paper latency presets, milliseconds.
+LAN_LATENCY_MS = 0.15
+ETHERNET_LATENCY_MS = 10.0
+CELLULAR_LATENCY_MS = 50.0
+
+
+class LatencyModel:
+    """Base latency plus uniform jitter, sampled from the shared RNG."""
+
+    __slots__ = ("base_ms", "jitter_ms")
+
+    def __init__(self, base_ms: float, jitter_ms: float = 0.0):
+        if base_ms < 0 or jitter_ms < 0:
+            raise ValueError("latencies must be non-negative")
+        self.base_ms = base_ms
+        self.jitter_ms = jitter_ms
+
+    def sample(self, rng: random.Random) -> float:
+        if self.jitter_ms:
+            return self.base_ms + rng.uniform(0.0, self.jitter_ms)
+        return self.base_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyModel({self.base_ms}±{self.jitter_ms}ms)"
+
+
+LAN = LatencyModel(LAN_LATENCY_MS, 0.05)
+ETHERNET = LatencyModel(ETHERNET_LATENCY_MS, 2.0)
+CELLULAR = LatencyModel(CELLULAR_LATENCY_MS, 10.0)
+
+
+class NetworkStats:
+    """Aggregate counters for benchmark reporting."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NetworkStats(sent={self.messages_sent},"
+                f" delivered={self.messages_delivered},"
+                f" dropped={self.messages_dropped},"
+                f" bytes={self.bytes_sent})")
+
+
+class Network:
+    """Directed message delivery between named nodes."""
+
+    def __init__(self, loop: EventLoop, rng: random.Random,
+                 default_latency: Optional[LatencyModel] = None):
+        self._loop = loop
+        self._rng = rng
+        self._default = default_latency or LatencyModel(1.0)
+        self._links: Dict[Tuple[str, str], LatencyModel] = {}
+        self._handlers: Dict[str, Callable[[Any, str], None]] = {}
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self._cut: Set[frozenset] = set()
+        self._down: Set[str] = set()
+        self._loss_rate: Dict[Tuple[str, str], float] = {}
+        self.stats = NetworkStats()
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, node_id: str,
+               handler: Callable[[Any, str], None]) -> None:
+        """Register the message handler of a node."""
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} already attached")
+        self._handlers[node_id] = handler
+
+    def detach(self, node_id: str) -> None:
+        self._handlers.pop(node_id, None)
+
+    def set_link(self, a: str, b: str, model: LatencyModel,
+                 symmetric: bool = True) -> None:
+        self._links[(a, b)] = model
+        if symmetric:
+            self._links[(b, a)] = model
+
+    def set_loss_rate(self, a: str, b: str, rate: float,
+                      symmetric: bool = True) -> None:
+        """Independent per-message drop probability on the link."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        self._loss_rate[(a, b)] = rate
+        if symmetric:
+            self._loss_rate[(b, a)] = rate
+
+    # -- failures ----------------------------------------------------------------
+    def partition(self, a: str, b: str) -> None:
+        """Cut the (bidirectional) link between two nodes."""
+        self._cut.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._cut.discard(frozenset((a, b)))
+
+    def isolate(self, node_id: str) -> None:
+        """Disconnect a node from everyone (e.g. it goes offline)."""
+        self._down.add(node_id)
+
+    def restore(self, node_id: str) -> None:
+        self._down.discard(node_id)
+
+    def is_reachable(self, src: str, dst: str) -> bool:
+        if src in self._down or dst in self._down:
+            return False
+        return frozenset((src, dst)) not in self._cut
+
+    # -- sending ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Any,
+             size_bytes: int = 0) -> bool:
+        """Queue a message for delivery; returns False when unreachable.
+
+        An unreachable destination silently drops the message, as a real
+        disconnected socket would: protocols must handle it with retries
+        (and they do — that is the point of the paper).
+        """
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        if not self.is_reachable(src, dst):
+            self.stats.messages_dropped += 1
+            return False
+        rate = self._loss_rate.get((src, dst), 0.0)
+        if rate and self._rng.random() < rate:
+            self.stats.messages_dropped += 1
+            return False
+        model = self._links.get((src, dst), self._default)
+        latency = model.sample(self._rng)
+        link = (src, dst)
+        deliver_at = max(self._loop.now + latency,
+                         self._last_delivery.get(link, 0.0) + 1e-6)
+        self._last_delivery[link] = deliver_at
+        self._loop.schedule_at(deliver_at,
+                               lambda: self._deliver(src, dst, message))
+        return True
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        # Check reachability again at delivery time: a partition that
+        # appeared while the message was in flight kills it (TCP reset).
+        if not self.is_reachable(src, dst):
+            self.stats.messages_dropped += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        handler(message, src)

@@ -1,0 +1,63 @@
+"""Simulation façade tying the loop, network and actors together."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Type, TypeVar
+
+from .actor import Actor
+from .events import EventLoop
+from .network import LatencyModel, Network
+
+A = TypeVar("A", bound=Actor)
+
+
+class Simulation:
+    """One deterministic simulated world.
+
+    >>> sim = Simulation(seed=7)
+    >>> # actors = sim.spawn(MyActor, "node-1", ...)
+    >>> sim.run(until=1000.0)   # advance one simulated second
+    """
+
+    def __init__(self, seed: int = 0,
+                 default_latency: Optional[LatencyModel] = None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.loop = EventLoop()
+        self.network = Network(self.loop, self.rng, default_latency)
+        self.actors: Dict[str, Actor] = {}
+
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def spawn(self, cls: Type[A], node_id: str, *args: Any,
+              **kwargs: Any) -> A:
+        """Create an actor wired to this simulation.
+
+        Each actor receives its own RNG derived deterministically from the
+        simulation seed and its id, so adding an actor does not perturb the
+        random streams of the others.
+        """
+        if node_id in self.actors:
+            raise ValueError(f"duplicate actor id {node_id!r}")
+        actor_rng = random.Random(f"{self.seed}/{node_id}")
+        actor = cls(node_id, self.loop, self.network, *args,
+                    rng=actor_rng, **kwargs)
+        self.actors[node_id] = actor
+        return actor
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.loop.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float) -> None:
+        self.run(until=self.loop.now + duration)
+
+    def actor(self, node_id: str) -> Actor:
+        return self.actors[node_id]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulation(seed={self.seed}, t={self.loop.now:.3f}ms,"
+                f" actors={len(self.actors)})")

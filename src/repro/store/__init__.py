@@ -1,0 +1,7 @@
+"""Storage substrate: versioned store, consistent-hash ring, edge cache."""
+
+from .cache import CacheStats, InterestCache
+from .kv import VersionedStore
+from .ring import HashRing
+
+__all__ = ["CacheStats", "InterestCache", "VersionedStore", "HashRing"]

@@ -1,0 +1,107 @@
+"""Edge cache with interest sets and eviction policies (paper section 4.2).
+
+An edge node cannot replicate the whole database; clients *declare interest*
+in objects, which subscribes them to updates from the connected DC (and,
+inside a peer group, from neighbours).  Objects evicted from the cache are
+unsubscribed to save resources (section 5.1.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, List, Optional, Set
+
+from ..core.journal import EntryFilter
+from ..core.txn import ObjectKey, Transaction
+from ..crdt.base import OpBasedCRDT
+from .kv import VersionedStore
+
+
+class CacheStats:
+    """Hit/miss counters for the latency benchmarks."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CacheStats(hits={self.hits}, misses={self.misses},"
+                f" evictions={self.evictions})")
+
+
+class InterestCache:
+    """LRU-bounded cache of journalled objects keyed by interest set."""
+
+    def __init__(self, capacity: Optional[int] = None,
+                 on_evict: Optional[Callable[[ObjectKey], None]] = None):
+        self.store = VersionedStore()
+        self.capacity = capacity
+        self._interest: "OrderedDict[ObjectKey, None]" = OrderedDict()
+        self._on_evict = on_evict
+        self.stats = CacheStats()
+
+    # -- interest management ---------------------------------------------------
+    def declare_interest(self, key: ObjectKey, type_name: str) -> None:
+        """Add an object to the interest set (and the cache)."""
+        if key not in self._interest:
+            self._interest[key] = None
+            self.store.ensure_object(key, type_name)
+            self._evict_overflow()
+        else:
+            self._interest.move_to_end(key)
+
+    def retract_interest(self, key: ObjectKey) -> None:
+        if key in self._interest:
+            del self._interest[key]
+            self.store.drop(key)
+
+    @property
+    def interest_set(self) -> Set[ObjectKey]:
+        return set(self._interest)
+
+    def interested_in(self, key: ObjectKey) -> bool:
+        return key in self._interest
+
+    def _evict_overflow(self) -> None:
+        while self.capacity is not None \
+                and len(self._interest) > self.capacity:
+            victim, _ = self._interest.popitem(last=False)
+            self.store.drop(victim)
+            self.stats.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(victim)
+
+    # -- data path -----------------------------------------------------------------
+    def apply_transaction(self, txn: Transaction) -> bool:
+        """Journal updates for cached keys only; returns True if any."""
+        accepted = False
+        for write in txn.writes:
+            if write.key in self._interest:
+                journal = self.store.ensure_object(write.key,
+                                                   write.op.type_name)
+                if journal.append(txn):
+                    accepted = True
+        return accepted
+
+    def read(self, key: ObjectKey, visible: Optional[EntryFilter],
+             type_name: str) -> Optional[OpBasedCRDT]:
+        """Materialise from cache; None (a miss) when not cached."""
+        if key not in self._interest:
+            self.stats.misses += 1
+            return None
+        self._interest.move_to_end(key)
+        self.stats.hits += 1
+        return self.store.read(key, visible, type_name=type_name)
+
+    def transactions_for(self, key: ObjectKey) -> List[Transaction]:
+        return self.store.transactions_for(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"InterestCache({len(self._interest)} objects,"
+                f" cap={self.capacity})")

@@ -1,0 +1,7 @@
+"""Workload generation: synthetic Mattermost trace + drivers."""
+
+from .driver import ClosedLoopDriver, TimedDriver, execute_event
+from .trace import MattermostTrace, TraceConfig, TraceEvent
+
+__all__ = ["MattermostTrace", "TraceConfig", "TraceEvent",
+           "ClosedLoopDriver", "TimedDriver", "execute_event"]

@@ -1,0 +1,178 @@
+"""Synthetic Mattermost-like trace (paper section 7.1).
+
+The paper replays "a modified trace from a popular Mattermost server" that
+is not publicly available.  We regenerate a synthetic trace with every
+statistic the paper states:
+
+* ~2 000 users over 3 workspaces, ~20 channels per workspace on average;
+* one workspace with 1 000 users; users may belong to several workspaces;
+* ~10 % of users are bots reacting to channel messages;
+* 90/10 read/write ratio; a user refreshes its local copy of a channel
+  every 5 transactions;
+* Pareto activity: 20 % of the users execute 80 % of the operations;
+* 40 days of activity with a diurnal cycle, accelerated to minutes.
+
+Everything is seeded, so the trace is a pure function of its config.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TraceConfig:
+    """Knobs matching the paper's workload description."""
+
+    n_users: int = 2000
+    n_workspaces: int = 3
+    channels_per_workspace: int = 20
+    big_workspace_users: int = 1000
+    bot_fraction: float = 0.10
+    read_ratio: float = 0.90
+    refresh_every: int = 5
+    pareto_alpha: float = 1.16      # ~80/20 activity skew
+    trace_days: int = 40
+    duration_ms: float = 60_000.0   # accelerated wall-clock span
+    events_total: int = 10_000
+    diurnal_amplitude: float = 0.5
+    seed: int = 42
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One user action, scheduled at ``at_ms`` into the run."""
+
+    at_ms: float
+    user: str
+    action: str                     # read_channel | post_message | ...
+    workspace: str
+    channel: Optional[str] = None
+    text: Optional[str] = None
+
+
+# Write-action mix within the 10% writes.
+_WRITE_ACTIONS = (("post_message", 0.80), ("update_profile", 0.08),
+                  ("add_friend", 0.06), ("log_event", 0.06))
+
+
+class MattermostTrace:
+    """Generates and holds the synthetic workload."""
+
+    def __init__(self, config: Optional[TraceConfig] = None):
+        self.config = config or TraceConfig()
+        self.rng = random.Random(self.config.seed)
+        cfg = self.config
+        self.users = [f"user{i}" for i in range(cfg.n_users)]
+        n_bots = int(cfg.n_users * cfg.bot_fraction)
+        self.bots = set(self.rng.sample(self.users, n_bots))
+        self.workspaces = [f"ws{i}" for i in range(cfg.n_workspaces)]
+        self.channels: Dict[str, List[str]] = {}
+        self.user_workspaces: Dict[str, List[str]] = {}
+        self._weights: List[float] = []
+        self._build_topology()
+        self._build_weights()
+
+    # -- topology ------------------------------------------------------------
+    def _build_topology(self) -> None:
+        cfg, rng = self.config, self.rng
+        for workspace in self.workspaces:
+            # ~20 channels on average, jittered per workspace.
+            n_channels = max(1, int(rng.gauss(cfg.channels_per_workspace,
+                                              cfg.channels_per_workspace
+                                              * 0.2)))
+            self.channels[workspace] = [f"{workspace}-ch{i}"
+                                        for i in range(n_channels)]
+        big = self.workspaces[0]
+        big_users = self.users[:min(cfg.big_workspace_users,
+                                    len(self.users))]
+        for user in self.users:
+            memberships = []
+            if user in big_users:
+                memberships.append(big)
+            others = [w for w in self.workspaces if w != big]
+            if others:
+                # Everyone joins at least one workspace; some join more.
+                extra = rng.sample(others,
+                                   1 + (rng.random() < 0.25
+                                        and len(others) > 1))
+                memberships.extend(extra)
+            if not memberships:
+                memberships.append(big)
+            self.user_workspaces[user] = memberships
+
+    def _build_weights(self) -> None:
+        """Pareto activity: weight_i ~ rank^-alpha gives ~80/20 skew."""
+        alpha = self.config.pareto_alpha
+        raw = [(rank + 1) ** (-alpha) for rank in range(len(self.users))]
+        total = sum(raw)
+        self._weights = [w / total for w in raw]
+
+    def activity_share(self, top_fraction: float) -> float:
+        """Share of operations executed by the most active fraction."""
+        k = max(1, int(len(self._weights) * top_fraction))
+        return sum(sorted(self._weights, reverse=True)[:k])
+
+    # -- sampling ---------------------------------------------------------------
+    def sample_user(self, rng: Optional[random.Random] = None) -> str:
+        rng = rng or self.rng
+        return rng.choices(self.users, weights=self._weights, k=1)[0]
+
+    def sample_action(self, user: str, txn_index: int,
+                      rng: Optional[random.Random] = None) -> TraceEvent:
+        """Draw the user's next action (time filled in by the caller)."""
+        rng = rng or self.rng
+        workspace = rng.choice(self.user_workspaces[user])
+        channel = rng.choice(self.channels[workspace])
+        if txn_index % self.config.refresh_every == 0:
+            action = "read_channel"     # periodic local-copy refresh
+        elif rng.random() < self.config.read_ratio:
+            action = "read_channel"
+        else:
+            action = self._sample_write(rng)
+        text = None
+        if action == "post_message":
+            text = f"msg-{user}-{txn_index}"
+        return TraceEvent(0.0, user, action, workspace, channel, text)
+
+    @staticmethod
+    def _sample_write(rng: random.Random) -> str:
+        roll = rng.random()
+        acc = 0.0
+        for action, share in _WRITE_ACTIONS:
+            acc += share
+            if roll < acc:
+                return action
+        return _WRITE_ACTIONS[0][0]
+
+    # -- full timed trace -----------------------------------------------------------
+    def diurnal_rate(self, at_ms: float) -> float:
+        """Relative arrival rate at ``at_ms`` (diurnal sinusoid)."""
+        cfg = self.config
+        day_ms = cfg.duration_ms / cfg.trace_days
+        phase = 2.0 * math.pi * (at_ms % day_ms) / day_ms
+        return 1.0 + cfg.diurnal_amplitude * math.sin(phase)
+
+    def generate(self) -> List[TraceEvent]:
+        """The complete accelerated trace, in time order."""
+        cfg = self.config
+        base_rate = cfg.events_total / cfg.duration_ms  # events per ms
+        events: List[TraceEvent] = []
+        per_user_counts: Dict[str, int] = {}
+        t = 0.0
+        while len(events) < cfg.events_total:
+            rate = base_rate * self.diurnal_rate(t)
+            t += self.rng.expovariate(rate)
+            if t >= cfg.duration_ms:
+                break
+            user = self.sample_user()
+            index = per_user_counts.get(user, 0) + 1
+            per_user_counts[user] = index
+            event = self.sample_action(user, index)
+            events.append(TraceEvent(t, event.user, event.action,
+                                     event.workspace, event.channel,
+                                     event.text))
+        return events

@@ -1,0 +1,170 @@
+"""Public API integration: connections over edge, group and cloud nodes."""
+
+import pytest
+
+from repro.api import Connection
+from repro.edge import CloudClient, EdgeNode
+from repro.groups import GroupMember, form_group
+from repro.sim import LAN, LatencyModel, Simulation
+
+from ..conftest import build_cluster
+
+
+def world(seed=61):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    build_cluster(sim, n_dcs=1, k_target=1)
+    return sim
+
+
+class TestEdgeConnection:
+    def _conn(self, sim, name="e"):
+        node = sim.spawn(EdgeNode, name, dc_id="dc0")
+        conn = Connection(node)
+        return node, conn
+
+    def test_counter_update_and_read(self):
+        sim = world()
+        node, conn = self._conn(sim)
+        cnt = conn.counter("c")
+        conn.open_bucket([cnt])
+        node.connect()
+        sim.run_for(200)
+        conn.update(cnt.increment(3))
+        values = []
+        conn.read(cnt, on_done=lambda v, s: values.append(v))
+        sim.run_for(200)
+        assert values == [3]
+
+    def test_figure3_program_shape(self):
+        """The paper's example program (Figure 3), in Python."""
+        sim = world()
+        node, conn = self._conn(sim)
+        cnt = conn.counter("myCounter")
+        gmap = conn.gmap("myMap")
+        conn.open_bucket([cnt, gmap])
+        node.connect()
+        sim.run_for(200)
+
+        conn.update(cnt.increment(3))
+
+        tx = conn.start_transaction()
+        tx.update([gmap.register("a").assign(42),
+                   gmap.set("e").add_all([1, 2, 3, 4])])
+        tx.commit()
+
+        values = []
+        conn.read(gmap, on_done=lambda v, s: values.append(v))
+        sim.run_for(300)
+        assert values == [{"a": 42, "e": {1, 2, 3, 4}}]
+
+    def test_transaction_builder_atomic(self):
+        sim = world()
+        node, conn = self._conn(sim)
+        a, b = conn.counter("a"), conn.counter("b")
+        conn.open_bucket([a, b])
+        node.connect()
+        sim.run_for(200)
+        tx = conn.start_transaction()
+        tx.update(a.increment(1)).update(b.increment(2))
+        done = []
+        tx.commit(on_done=lambda v, s: done.append(s))
+        sim.run_for(200)
+        assert done and not done[0].aborted
+
+    def test_double_commit_rejected(self):
+        sim = world()
+        node, conn = self._conn(sim)
+        tx = conn.start_transaction()
+        tx.update(conn.counter("c").increment(1))
+        node.connect()
+        sim.run_for(200)
+        tx.commit()
+        with pytest.raises(RuntimeError):
+            tx.commit()
+
+    def test_reads_returned_in_order(self):
+        sim = world()
+        node, conn = self._conn(sim)
+        a, b = conn.counter("a"), conn.counter("b")
+        conn.open_bucket([a, b])
+        node.connect()
+        sim.run_for(200)
+        conn.update([a.increment(1), b.increment(2)])
+        values = []
+        tx = conn.start_transaction()
+        tx.read(a).read(b)
+        tx.commit(on_done=lambda v, s: values.append(v))
+        sim.run_for(200)
+        assert values == [(1, 2)]
+
+    def test_subscription(self):
+        sim = world()
+        node1, conn1 = self._conn(sim, "e1")
+        node2, conn2 = self._conn(sim, "e2")
+        cnt = conn1.counter("c")
+        conn1.open_bucket([cnt])
+        node1.connect()
+        fired = []
+        conn2.subscribe(conn2.counter("c"), fired.append)
+        node2.connect()
+        sim.run_for(200)
+        conn1.update(cnt.increment(1))
+        sim.run_for(2000)
+        assert fired
+
+
+class TestCloudConnection:
+    def test_cloud_client_round_trip(self):
+        sim = world()
+        node = sim.spawn(CloudClient, "thin", dc_id="dc0")
+        conn = Connection(node)
+        cnt = conn.counter("c")
+        done = []
+        conn.update(cnt.increment(4), on_done=lambda v, s: done.append(s))
+        sim.run_for(200)
+        assert done and done[0].latency >= 20.0  # full RTT
+
+        values = []
+        conn.read(cnt, on_done=lambda v, s: values.append(v))
+        sim.run_for(200)
+        assert values == [4]
+
+    def test_interactive_txn_rejected_on_cloud_client(self):
+        sim = world()
+        node = sim.spawn(CloudClient, "thin", dc_id="dc0")
+        conn = Connection(node)
+        with pytest.raises(TypeError):
+            conn.run(lambda tx: None)
+
+    def test_subscription_rejected_on_cloud_client(self):
+        sim = world()
+        node = sim.spawn(CloudClient, "thin", dc_id="dc0")
+        conn = Connection(node)
+        with pytest.raises(TypeError):
+            conn.subscribe(conn.counter("c"), lambda k: None)
+
+
+class TestGroupConnection:
+    def test_api_over_group_member(self):
+        sim = world()
+        members = []
+        for i in range(3):
+            node = sim.spawn(GroupMember, f"m{i}", dc_id="dc0",
+                             group_id="g", parent_id="m0")
+            members.append(node)
+        for a in members:
+            for b in members:
+                if a.node_id < b.node_id:
+                    sim.network.set_link(a.node_id, b.node_id, LAN)
+        conns = [Connection(m) for m in members]
+        cnt = conns[0].counter("c")
+        for conn in conns:
+            conn.open_bucket([conn.counter("c")])
+        form_group(members)
+        sim.run_for(300)
+        conns[1].update(cnt.increment(5))
+        sim.run_for(300)
+        values = []
+        conns[2].read(cnt, on_done=lambda v, s: values.append(v))
+        sim.run_for(300)
+        assert values == [5]

@@ -1,0 +1,173 @@
+"""ColonyChat application tests (paper section 7.1)."""
+
+from repro.api import Connection
+from repro.chat import ChatApp, ChannelBot, model
+from repro.dc import DataCenter
+from repro.edge import EdgeNode
+from repro.sim import LAN, LatencyModel, Simulation
+
+from ..conftest import build_cluster
+
+
+def world(users=("ana", "ben"), seed=41):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    build_cluster(sim, n_dcs=1, k_target=1)
+    apps = {}
+    for user in users:
+        node = sim.spawn(EdgeNode, f"dev-{user}", dc_id="dc0", user=user)
+        app = ChatApp(Connection(node), user)
+        app.open_workspace("eng", ["general", "random"])
+        node.connect()
+        apps[user] = (node, app)
+    sim.run_for(300)
+    return sim, apps
+
+
+class TestMessaging:
+    def test_post_and_read(self):
+        sim, apps = world()
+        _node, ana = apps["ana"]
+        ana.post_message("eng", "general", "hello", at=sim.now)
+        sim.run_for(2000)
+        seen = []
+        apps["ben"][1].read_channel("eng", "general", on_done=seen.append)
+        sim.run_for(100)
+        assert seen and [m["text"] for m in seen[0]] == ["hello"]
+
+    def test_answer_visible_after_question(self):
+        # The paper's ordering guarantee: an answer is never visible
+        # before its question (causal consistency).
+        sim, apps = world()
+        ana, ben = apps["ana"][1], apps["ben"][1]
+        ana.post_message("eng", "general", "q?", at=sim.now)
+        sim.run_for(2000)       # ben has seen the question
+        ben.post_message("eng", "general", "a!", at=sim.now)
+        sim.run_for(2000)
+        seen = []
+        ana.read_channel("eng", "general", on_done=seen.append)
+        sim.run_for(100)
+        texts = [m["text"] for m in seen[0]]
+        assert texts.index("q?") < texts.index("a!")
+
+    def test_channels_are_separate(self):
+        sim, apps = world()
+        ana = apps["ana"][1]
+        ana.post_message("eng", "general", "g", at=sim.now)
+        ana.post_message("eng", "random", "r", at=sim.now)
+        sim.run_for(2000)
+        seen = {}
+        apps["ben"][1].read_channel(
+            "eng", "general", on_done=lambda v: seen.__setitem__("g", v))
+        apps["ben"][1].read_channel(
+            "eng", "random", on_done=lambda v: seen.__setitem__("r", v))
+        sim.run_for(100)
+        assert [m["text"] for m in seen["g"]] == ["g"]
+        assert [m["text"] for m in seen["r"]] == ["r"]
+
+
+class TestMembershipInvariant:
+    def test_join_updates_both_sides_atomically(self):
+        # "a user is in a workspace if and only if the workspace is in
+        # the user's profile" (section 7.1).
+        sim, apps = world()
+        node, ana = apps["ana"]
+        ana.join_workspace("eng")
+        sim.run_for(2000)
+        members = node.read_value(model.workspace_members("eng").key,
+                                  "gmap")
+        workspaces = node.read_value(model.user_workspaces("ana").key,
+                                     "orset")
+        assert members.get("ana") == model.ORDINARY
+        assert "eng" in workspaces
+
+    def test_leave_marks_deleted_and_removes(self):
+        sim, apps = world()
+        node, ana = apps["ana"]
+        ana.join_workspace("eng")
+        sim.run_for(500)
+        ana.leave_workspace("eng")
+        sim.run_for(2000)
+        members = node.read_value(model.workspace_members("eng").key,
+                                  "gmap")
+        workspaces = node.read_value(model.user_workspaces("ana").key,
+                                     "orset")
+        assert members.get("ana") == model.DELETED
+        assert "eng" not in workspaces
+
+    def test_remote_node_sees_consistent_membership(self):
+        sim, apps = world()
+        apps["ana"][1].join_workspace("eng")
+        sim.run_for(2000)
+        ben_node = apps["ben"][0]
+        members = ben_node.read_value(
+            model.workspace_members("eng").key, "gmap")
+        assert members.get("ana") == model.ORDINARY
+
+
+class TestSocial:
+    def test_profile_and_friends(self):
+        sim, apps = world()
+        node, ana = apps["ana"]
+        ana.set_profile("displayName", "Ana")
+        ana.add_friend("ben")
+        sim.run_for(2000)
+        profile = node.read_value(model.user_profile("ana").key, "gmap")
+        friends = node.read_value(model.user_friends("ana").key, "orset")
+        assert profile["displayName"] == "Ana"
+        assert friends == {"ben"}
+
+    def test_event_log_ordered(self):
+        sim, apps = world()
+        node, ana = apps["ana"]
+        ana.log_event("one", at=1.0)
+        ana.log_event("two", at=2.0)
+        sim.run_for(500)
+        events = node.read_value(model.user_events("ana").key, "rga")
+        assert [e["text"] for e in events] == ["one", "two"]
+
+    def test_create_channel(self):
+        sim, apps = world()
+        node, ana = apps["ana"]
+        ana.create_channel("eng", "new-channel", "a topic")
+        sim.run_for(2000)
+        channels = node.read_value(
+            model.workspace_channels("eng").key, "orset")
+        assert "new-channel" in channels
+
+
+class TestBots:
+    def test_bot_reacts_to_message(self):
+        sim, apps = world()
+        node, drew = apps["ben"]
+        bot = ChannelBot(drew, node.rng, react_probability=1.0,
+                         now_fn=lambda: sim.now)
+        bot.watch("eng", "general")
+        apps["ana"][1].post_message("eng", "general", "ping", at=sim.now)
+        sim.run_for(3000)
+        assert bot.reactions == 1
+        seen = []
+        apps["ana"][1].read_channel("eng", "general", on_done=seen.append)
+        sim.run_for(100)
+        authors = [m["author"] for m in seen[0]]
+        assert authors[0] == "ana" and "ben" in authors
+
+    def test_bot_does_not_react_to_itself(self):
+        sim, apps = world()
+        node, drew = apps["ben"]
+        bot = ChannelBot(drew, node.rng, react_probability=1.0,
+                         now_fn=lambda: sim.now)
+        bot.watch("eng", "general")
+        apps["ana"][1].post_message("eng", "general", "ping", at=sim.now)
+        sim.run_for(5000)
+        # One trigger, one reaction: no feedback storm.
+        assert bot.reactions == 1
+
+    def test_probability_zero_bot_is_silent(self):
+        sim, apps = world()
+        node, drew = apps["ben"]
+        bot = ChannelBot(drew, node.rng, react_probability=0.0,
+                         now_fn=lambda: sim.now)
+        bot.watch("eng", "general")
+        apps["ana"][1].post_message("eng", "general", "ping", at=sim.now)
+        sim.run_for(3000)
+        assert bot.reactions == 0

@@ -1,0 +1,122 @@
+"""ColonyChat reactions, presence and typing indicators."""
+
+from repro.api import Connection
+from repro.chat import ChatApp, model
+from repro.edge import EdgeNode
+from repro.sim import LatencyModel, Simulation
+
+from ..conftest import build_cluster
+
+
+def world(users=("ana", "ben"), seed=111):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    build_cluster(sim, n_dcs=1, k_target=1)
+    apps = {}
+    for user in users:
+        node = sim.spawn(EdgeNode, f"dev-{user}", dc_id="dc0", user=user)
+        app = ChatApp(Connection(node), user)
+        app.open_workspace("eng", ["general"])
+        app.conn.open_bucket([
+            model.channel_reactions("eng", "general"),
+            model.typing_indicator("eng", "general"),
+            # Everyone watches everyone's presence.
+            *[model.user_presence("eng", other) for other in users],
+        ])
+        node.connect()
+        apps[user] = (node, app)
+    sim.run_for(300)
+    return sim, apps
+
+
+class TestReactions:
+    def test_react_and_read(self):
+        sim, apps = world()
+        _n, ana = apps["ana"]
+        ana.post_message("eng", "general", "release!", at=sim.now)
+        message_id = f"ana/{sim.now:.3f}"
+        ana.react("eng", "general", message_id, "tada")
+        apps["ben"][1].react("eng", "general", message_id, "tada")
+        apps["ben"][1].react("eng", "general", message_id, "ship")
+        sim.run_for(2000)
+        out = []
+        ana.read_reactions("eng", "general", message_id,
+                           on_done=out.append)
+        sim.run_for(100)
+        assert out == [{"tada": 2, "ship": 1}]
+
+    def test_concurrent_reactions_merge(self):
+        sim, apps = world()
+        _na, ana = apps["ana"]
+        _nb, ben = apps["ben"]
+        message_id = "ana/1.000"
+        # Fired at the same instant at two replicas: counters merge.
+        ana.react("eng", "general", message_id, "thumbs")
+        ben.react("eng", "general", message_id, "thumbs")
+        sim.run_for(2000)
+        out = []
+        ben.read_reactions("eng", "general", message_id,
+                           on_done=out.append)
+        sim.run_for(100)
+        assert out == [{"thumbs": 2}]
+
+    def test_reactions_per_message_isolated(self):
+        sim, apps = world()
+        _n, ana = apps["ana"]
+        ana.react("eng", "general", "m1", "a")
+        ana.react("eng", "general", "m2", "b")
+        sim.run_for(500)
+        out = []
+        ana.read_reactions("eng", "general", "m1", on_done=out.append)
+        sim.run_for(100)
+        assert out == [{"a": 1}]
+
+
+class TestPresence:
+    def test_presence_toggles(self):
+        sim, apps = world()
+        node, ana = apps["ana"]
+        key = model.user_presence("eng", "ana").key
+        ana.set_presence("eng", True)
+        sim.run_for(100)
+        assert node.read_value(key, "ewflag") is True
+        ana.set_presence("eng", False)
+        sim.run_for(100)
+        assert node.read_value(key, "ewflag") is False
+
+    def test_presence_visible_remotely(self):
+        sim, apps = world()
+        _n, ana = apps["ana"]
+        ana.set_presence("eng", True)
+        sim.run_for(2000)
+        ben_node = apps["ben"][0]
+        key = model.user_presence("eng", "ana").key
+        assert ben_node.read_value(key, "ewflag") is True
+
+
+class TestTyping:
+    def test_typing_set_add_remove(self):
+        sim, apps = world()
+        node, ana = apps["ana"]
+        key = model.typing_indicator("eng", "general").key
+        ana.start_typing("eng", "general")
+        apps["ben"][1].start_typing("eng", "general")
+        sim.run_for(2000)
+        assert node.read_value(key, "orset") == {"ana", "ben"}
+        ana.stop_typing("eng", "general")
+        sim.run_for(2000)
+        assert node.read_value(key, "orset") == {"ben"}
+
+    def test_concurrent_stop_and_restart_add_wins(self):
+        sim, apps = world()
+        ana_node, ana = apps["ana"]
+        ben_node, ben = apps["ben"]
+        key = model.typing_indicator("eng", "general").key
+        ana.start_typing("eng", "general")
+        sim.run_for(2000)
+        # Concurrently: ben (having seen it) removes ana; ana re-adds.
+        ben_app_update = model.typing_indicator("eng", "general")
+        ben.conn.update(ben_app_update.remove("ana"))
+        ana.start_typing("eng", "general")
+        sim.run_for(3000)
+        assert ana_node.read_value(key, "orset") == {"ana"}
+        assert ben_node.read_value(key, "orset") == {"ana"}

@@ -1,0 +1,95 @@
+"""The complete Figure 1 topology: DC mesh <- PoP <- {peer group, edges}.
+
+The tree is compositional because every tier speaks the same protocol
+downwards: a peer group's sync point can connect to a PoP exactly as it
+would to a DC, and the PoP proxies to the core.
+"""
+
+from repro.core import ObjectKey
+from repro.edge import EdgeNode, PoPNode
+from repro.groups import GroupMember, form_group
+from repro.sim import CELLULAR, ETHERNET, LAN, LatencyModel, Simulation
+
+from ..conftest import build_cluster, run_update
+
+KEY = ObjectKey("b", "x")
+
+
+def figure1_world(seed=141):
+    sim = Simulation(seed=seed, default_latency=CELLULAR)
+    dcs = build_cluster(sim, n_dcs=2, k_target=1)
+
+    pop = sim.spawn(PoPNode, "pop0", dc_id="dc0")
+    sim.network.set_link("pop0", "dc0", ETHERNET)
+
+    # A peer group whose sync point connects through the PoP.
+    members = []
+    for i in range(3):
+        node = sim.spawn(GroupMember, f"m{i}", dc_id="pop0",
+                         group_id="g", parent_id="m0")
+        node.declare_interest(KEY, "counter")
+        members.append(node)
+    for a in members:
+        for b in members:
+            if a.node_id < b.node_id:
+                sim.network.set_link(a.node_id, b.node_id, LAN)
+    sim.network.set_link("m0", "pop0", ETHERNET)
+
+    # A solo edge device on the second DC (the far side of the mesh).
+    far = sim.spawn(EdgeNode, "far", dc_id="dc1")
+    far.declare_interest(KEY, "counter")
+
+    pop.connect()
+    sim.run_for(300)
+    form_group(members)
+    far.connect()
+    sim.run_for(500)
+    return sim, dcs, pop, members, far
+
+
+class TestFigure1Tree:
+    def test_group_session_terminates_at_pop(self):
+        sim, dcs, pop, members, far = figure1_world()
+        assert members[0].session_open
+        assert "m0" not in dcs[0].sessions
+        assert "pop0" in dcs[0].sessions
+
+    def test_update_crosses_the_whole_tree(self):
+        sim, dcs, pop, members, far = figure1_world()
+        run_update(members[1], KEY, "counter", "increment", 4)
+        sim.run_for(5000)
+        # group -> sync point -> PoP -> dc0 -> mesh -> dc1 -> far edge.
+        assert dcs[0].state_vector["dc0"] == 1
+        assert dcs[1].state_vector["dc0"] == 1
+        assert far.read_value(KEY, "counter") == 4
+        assert not members[1].unacked
+
+    def test_reverse_direction_reaches_group(self):
+        sim, dcs, pop, members, far = figure1_world()
+        run_update(far, KEY, "counter", "increment", 2)
+        sim.run_for(5000)
+        for member in members:
+            assert member.read_value(KEY, "counter") == 2
+
+    def test_concurrent_updates_from_both_subtrees_merge(self):
+        sim, dcs, pop, members, far = figure1_world()
+        run_update(members[2], KEY, "counter", "increment", 1)
+        run_update(far, KEY, "counter", "increment", 1)
+        sim.run_for(6000)
+        values = {far.read_value(KEY, "counter")}
+        values |= {m.read_value(KEY, "counter") for m in members}
+        values.add(pop.read_value(KEY, "counter"))
+        assert values == {2}
+
+    def test_subtree_survives_core_outage(self):
+        sim, dcs, pop, members, far = figure1_world()
+        sim.network.partition("pop0", "dc0")
+        run_update(members[0], KEY, "counter", "increment", 3)
+        sim.run_for(1000)
+        # The whole border subtree keeps collaborating...
+        for member in members:
+            assert member.read_value(KEY, "counter") == 3
+        # ...and reconciles once the uplink heals.
+        sim.network.heal("pop0", "dc0")
+        sim.run_for(8000)
+        assert far.read_value(KEY, "counter") == 3

@@ -1,0 +1,109 @@
+"""Migration between peer groups (paper section 5.2)."""
+
+from repro.core import ObjectKey
+from repro.groups import GroupMember, form_group
+from repro.sim import LAN, LatencyModel, Simulation
+
+from ..conftest import build_cluster, run_update
+
+KEY = ObjectKey("b", "doc")
+
+
+def two_group_world(seed=101):
+    """Two peer groups under one DC, plus a mobile member of group A."""
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    dcs = build_cluster(sim, n_dcs=1, k_target=1)
+
+    def make_group(group_id, parent, names):
+        members = []
+        for name in names:
+            node = sim.spawn(GroupMember, name, dc_id="dc0",
+                             group_id=group_id, parent_id=parent)
+            node.declare_interest(KEY, "counter")
+            members.append(node)
+        for a in members:
+            for b in members:
+                if a.node_id < b.node_id:
+                    sim.network.set_link(a.node_id, b.node_id, LAN)
+        form_group(members)
+        return members
+
+    group_a = make_group("groupA", "a0", ["a0", "a1", "mobile"])
+    group_b = make_group("groupB", "b0", ["b0", "b1"])
+    # The mobile node can reach group B's members too.
+    for member in group_b:
+        sim.network.set_link("mobile", member.node_id, LAN)
+    sim.run_for(300)
+    return sim, dcs, group_a, group_b
+
+
+def mobile_of(group_a):
+    return next(m for m in group_a if m.node_id == "mobile")
+
+
+class TestGroupToGroupMigration:
+    def test_leave_then_join_other_group(self):
+        sim, dcs, group_a, group_b = two_group_world()
+        mobile = mobile_of(group_a)
+        run_update(mobile, KEY, "counter", "increment", 1)
+        sim.run_for(1500)   # fully shipped and acked
+        mobile.leave_group()
+        sim.run_for(300)
+        assert not mobile.in_group
+        assert "mobile" not in group_a[0].members
+        mobile.group_id = "groupB"
+        mobile.parent_id = "b0"
+        mobile.join_group()
+        sim.run_for(500)
+        assert mobile.in_group
+        assert "mobile" in group_b[0].members
+
+    def test_state_carries_across_groups(self):
+        sim, dcs, group_a, group_b = two_group_world()
+        mobile = mobile_of(group_a)
+        run_update(mobile, KEY, "counter", "increment", 2)
+        sim.run_for(1500)
+        mobile.leave_group()
+        mobile.group_id = "groupB"
+        mobile.parent_id = "b0"
+        mobile.join_group()
+        sim.run_for(1500)
+        # Both the migrant and the new group converge on the value.
+        assert mobile.read_value(KEY, "counter") == 2
+        run_update(mobile, KEY, "counter", "increment", 1)
+        sim.run_for(1500)
+        for member in group_b:
+            assert member.read_value(KEY, "counter") == 3
+
+    def test_old_group_keeps_working(self):
+        sim, dcs, group_a, group_b = two_group_world()
+        mobile = mobile_of(group_a)
+        mobile.leave_group()
+        sim.run_for(300)
+        others = [m for m in group_a if m is not mobile]
+        run_update(others[1], KEY, "counter", "increment", 5)
+        sim.run_for(1500)
+        assert all(m.read_value(KEY, "counter") == 5 for m in others)
+
+    def test_pending_commits_survive_migration(self):
+        # Section 5.2: "If the client waits, its pending commits remain
+        # logged until the communication problem is fixed and they can be
+        # merged into the DC."
+        sim, dcs, group_a, group_b = two_group_world()
+        mobile = mobile_of(group_a)
+        # Cut group A off from the DC so the commit stays symbolic.
+        sim.network.partition("a0", "dc0")
+        run_update(mobile, KEY, "counter", "increment", 1)
+        sim.run_for(300)
+        assert mobile.unacked
+        mobile.leave_group()
+        mobile.group_id = "groupB"
+        mobile.parent_id = "b0"
+        mobile.join_group()
+        sim.run_for(3000)
+        # Group B's sync point ships the pending commit to the DC...
+        assert dcs[0].committed_count == 1
+        assert not mobile.unacked
+        # ...and everyone converges.
+        for member in group_b + [mobile]:
+            assert member.read_value(KEY, "counter") == 1

@@ -1,0 +1,156 @@
+"""Deployment-harness and workload-driver integration tests."""
+
+import pytest
+
+from repro.bench import Deployment, DeploymentConfig
+from repro.bench.metrics import served_by_breakdown, summarise
+from repro.bench.scenarios import _small_trace
+from repro.workload import ClosedLoopDriver, MattermostTrace, TimedDriver
+from repro.workload.trace import TraceConfig
+
+
+def deploy(mode, n_clients=8, n_dcs=1, seed=7, **kwargs):
+    trace = _small_trace(n_clients, seed)
+    config = DeploymentConfig(mode=mode, n_dcs=n_dcs,
+                              n_clients=n_clients, seed=seed, **kwargs)
+    return Deployment(config, trace), trace
+
+
+class TestDeployment:
+    def test_unknown_mode_rejected(self):
+        trace = _small_trace(4, 1)
+        with pytest.raises(ValueError):
+            Deployment(DeploymentConfig(mode="nope"), trace)
+
+    @pytest.mark.parametrize("mode", ["antidote", "swiftcloud", "colony"])
+    def test_each_mode_builds_and_runs(self, mode):
+        deployment, trace = deploy(mode)
+        deployment.warm_up(1500.0)
+        driver = ClosedLoopDriver(deployment.sim, trace,
+                                  [(u, a) for u, _n, a
+                                   in deployment.clients],
+                                  think_time_ms=20.0)
+        driver.start()
+        deployment.sim.run_for(1500.0)
+        stats = deployment.all_stats()
+        assert len(stats) > 20
+        assert not any(s.aborted for s in stats)
+
+    def test_colony_groups_formed(self):
+        deployment, _ = deploy("colony", n_clients=8)
+        deployment.config.group_size = 4
+        assert deployment.groups
+        for group in deployment.groups:
+            assert group[0].is_parent
+
+    def test_k_default_tracks_dc_count(self):
+        assert DeploymentConfig(n_dcs=1).resolved_k() == 1
+        assert DeploymentConfig(n_dcs=3).resolved_k() == 2
+        assert DeploymentConfig(n_dcs=3, k_target=3).resolved_k() == 3
+
+    def test_served_by_profile_per_mode(self):
+        profiles = {}
+        for mode in ("antidote", "swiftcloud", "colony"):
+            deployment, trace = deploy(mode, n_clients=8)
+            deployment.warm_up(1500.0)
+            driver = ClosedLoopDriver(deployment.sim, trace,
+                                      [(u, a) for u, _n, a
+                                       in deployment.clients],
+                                      think_time_ms=15.0)
+            driver.start()
+            deployment.sim.run_for(2000.0)
+            profiles[mode] = served_by_breakdown(deployment.all_stats())
+        assert set(profiles["antidote"]) == {"dc"}
+        assert profiles["swiftcloud"].get("client", 0) > 0
+        assert "peer" not in profiles["swiftcloud"]
+        assert profiles["colony"].get("client", 0) > 0
+
+    def test_determinism_same_seed_same_results(self):
+        def run():
+            deployment, trace = deploy("colony", n_clients=6, seed=13)
+            deployment.warm_up(1200.0)
+            driver = ClosedLoopDriver(deployment.sim, trace,
+                                      [(u, a) for u, _n, a
+                                       in deployment.clients],
+                                      think_time_ms=15.0)
+            driver.start()
+            deployment.sim.run_for(1500.0)
+            return [(s.start, s.end, s.served_by)
+                    for s in deployment.all_stats()]
+
+        assert run() == run()
+
+
+class TestDrivers:
+    def test_timed_driver_replays_trace(self):
+        deployment, trace = deploy("swiftcloud", n_clients=8)
+        deployment.warm_up(1500.0)
+        config = TraceConfig(n_users=8, n_workspaces=1,
+                             big_workspace_users=8, events_total=200,
+                             duration_ms=2000.0, seed=3)
+        timed_trace = MattermostTrace(config)
+        # Use the deployment's users (same naming scheme).
+        driver = TimedDriver(deployment.sim, deployment.apps_by_user(),
+                             timed_trace.generate())
+        driver.schedule()
+        deployment.sim.run_for(4000.0)
+        stats = deployment.all_stats()
+        assert len(stats) + driver.skipped >= 150
+
+    def test_closed_loop_respects_max_txns(self):
+        deployment, trace = deploy("swiftcloud", n_clients=4)
+        deployment.warm_up(1500.0)
+        driver = ClosedLoopDriver(deployment.sim, trace,
+                                  [(u, a) for u, _n, a
+                                   in deployment.clients],
+                                  think_time_ms=5.0,
+                                  max_txns_per_client=10)
+        driver.start()
+        deployment.sim.run_for(5000.0)
+        assert driver.completed <= 40
+
+    def test_stop_halts_issuance(self):
+        deployment, trace = deploy("swiftcloud", n_clients=4)
+        deployment.warm_up(1500.0)
+        driver = ClosedLoopDriver(deployment.sim, trace,
+                                  [(u, a) for u, _n, a
+                                   in deployment.clients],
+                                  think_time_ms=5.0)
+        driver.start()
+        deployment.sim.run_for(500.0)
+        driver.stop()
+        completed = driver.completed
+        deployment.sim.run_for(1000.0)
+        assert driver.completed <= completed + len(deployment.clients)
+
+
+class TestWritebackPolicy:
+    def test_writeback_batches_uplink_messages(self):
+        from repro.core import ObjectKey
+        from repro.edge import EdgeNode
+        from repro.sim import LatencyModel, Simulation
+        from ..conftest import build_cluster, run_update
+
+        key = ObjectKey("b", "x")
+
+        def run(writeback):
+            sim = Simulation(seed=3, default_latency=LatencyModel(10.0))
+            dcs = build_cluster(sim, n_dcs=1, k_target=1)
+            node = sim.spawn(EdgeNode, "e", dc_id="dc0",
+                             writeback_ms=writeback)
+            node.declare_interest(key, "counter")
+            node.connect()
+            sim.run_for(200)
+            before = sim.network.stats.messages_sent
+            for _ in range(20):
+                run_update(node, key, "counter", "increment", 1)
+            sim.run_for(3000)
+            assert not node.unacked
+            assert dcs[0].committed_count == 20
+            return sim.network.stats.messages_sent - before
+
+        eager = run(None)
+        batched = run(200.0)
+        # Same 20 commits reach the DC either way, with fewer uplink
+        # messages in writeback mode (they ship in periodic batches).
+        assert batched < eager

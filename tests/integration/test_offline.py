@@ -1,0 +1,168 @@
+"""Offline operation and reconnection tests (paper sections 2.2, 7.3.1)."""
+
+from repro.core import ObjectKey
+from repro.groups import GroupMember, form_group
+from repro.sim import LAN, LatencyModel, Simulation
+
+from ..conftest import build_cluster, build_edge, run_update
+
+KEY = ObjectKey("b", "x")
+INTEREST = ((KEY, "counter"),)
+
+
+class TestSoloOffline:
+    def _world(self):
+        sim = Simulation(seed=21, default_latency=LatencyModel(10.0))
+        dcs = build_cluster(sim, n_dcs=1, k_target=1)
+        edge = build_edge(sim, "e", interest=INTEREST)
+        sim.run_for(200)
+        return sim, dcs, edge
+
+    def test_offline_commits_stay_local(self):
+        sim, dcs, edge = self._world()
+        edge.go_offline()
+        sim.network.isolate("e")
+        results = run_update(edge, KEY, "counter", "increment", 1)
+        assert results and results[0].latency == 0.0
+        assert edge.read_value(KEY, "counter") == 1
+        sim.run_for(2000)
+        assert dcs[0].committed_count == 0
+
+    def test_offline_latency_equals_online(self):
+        sim, dcs, edge = self._world()
+        online = run_update(edge, KEY, "counter", "increment", 1)
+        edge.go_offline()
+        sim.network.isolate("e")
+        offline = run_update(edge, KEY, "counter", "increment", 1)
+        assert online[0].latency == offline[0].latency == 0.0
+
+    def test_reconnect_ships_offline_work(self):
+        sim, dcs, edge = self._world()
+        edge.go_offline()
+        sim.network.isolate("e")
+        for _ in range(3):
+            run_update(edge, KEY, "counter", "increment", 1)
+        sim.run_for(1000)
+        sim.network.restore("e")
+        edge.go_online()
+        sim.run_for(2000)
+        assert not edge.unacked
+        assert dcs[0].committed_count == 3
+
+    def test_missed_remote_updates_caught_up_on_reconnect(self):
+        sim, dcs, edge = self._world()
+        other = build_edge(sim, "o", interest=INTEREST)
+        sim.run_for(200)
+        edge.go_offline()
+        sim.network.isolate("e")
+        run_update(other, KEY, "counter", "increment", 4)
+        sim.run_for(2000)
+        assert edge.read_value(KEY, "counter") == 0
+        sim.network.restore("e")
+        edge.go_online()
+        sim.run_for(2000)
+        assert edge.read_value(KEY, "counter") == 4
+
+    def test_offline_and_remote_updates_merge(self):
+        sim, dcs, edge = self._world()
+        other = build_edge(sim, "o", interest=INTEREST)
+        sim.run_for(200)
+        edge.go_offline()
+        sim.network.isolate("e")
+        run_update(edge, KEY, "counter", "increment", 1)
+        run_update(other, KEY, "counter", "increment", 2)
+        sim.run_for(1000)
+        sim.network.restore("e")
+        edge.go_online()
+        sim.run_for(3000)
+        assert edge.read_value(KEY, "counter") == 3
+        assert other.read_value(KEY, "counter") == 3
+
+    def test_cold_read_blocks_while_offline_resumes_after(self):
+        # Availability limit of section 4.2: a version that cannot be
+        # retrieved blocks the transaction until reconnection.
+        sim, dcs, edge = self._world()
+        cold = ObjectKey("b", "cold")
+        edge.go_offline()
+        sim.network.isolate("e")
+        done = []
+
+        def body(tx):
+            return (yield tx.read(cold, "counter"))
+
+        edge.run_transaction(body, on_done=lambda r, s: done.append(r))
+        sim.run_for(1000)
+        assert done == []
+        sim.network.restore("e")
+        edge.go_online()
+        sim.run_for(2000)
+        assert done == [0]
+
+
+class TestGroupOffline:
+    def _world(self):
+        sim = Simulation(seed=22, default_latency=LatencyModel(10.0))
+        build_cluster(sim, n_dcs=1, k_target=1)
+        members = []
+        for i in range(3):
+            node = sim.spawn(GroupMember, f"m{i}", dc_id="dc0",
+                             group_id="g", parent_id="m0")
+            node.declare_interest(KEY, "counter")
+            members.append(node)
+        for a in members:
+            for b in members:
+                if a.node_id < b.node_id:
+                    sim.network.set_link(a.node_id, b.node_id, LAN)
+        form_group(members)
+        sim.run_for(200)
+        return sim, members
+
+    def test_group_collaborates_while_dc_unreachable(self):
+        sim, members = self._world()
+        sim.network.partition("m0", "dc0")
+        run_update(members[1], KEY, "counter", "increment", 1)
+        run_update(members[2], KEY, "counter", "increment", 1)
+        sim.run_for(500)
+        for member in members:
+            assert member.read_value(KEY, "counter") == 2
+
+    def test_offline_group_ships_on_reconnect(self):
+        sim, members = self._world()
+        sim.network.partition("m0", "dc0")
+        run_update(members[1], KEY, "counter", "increment", 1)
+        sim.run_for(1000)
+        assert members[0]._ship_queue
+        sim.network.heal("m0", "dc0")
+        sim.run_for(3000)
+        assert not members[0]._ship_queue
+        assert sim.actors["dc0"].committed_count == 1
+
+    def test_member_disconnected_from_group_works_locally(self):
+        sim, members = self._world()
+        victim = members[2]
+        # Warm the victim's cache while connected (the paper's scenario
+        # starts from initialised caches).
+        run_update(victim, KEY, "counter", "increment", 1)
+        sim.run_for(500)
+        victim.disconnect_from_group()
+        for other in members[:2]:
+            sim.network.partition(victim.node_id, other.node_id)
+        results = run_update(victim, KEY, "counter", "increment", 1)
+        assert results and results[0].latency == 0.0
+        assert victim.read_value(KEY, "counter") == 2
+
+    def test_member_reconnect_converges(self):
+        sim, members = self._world()
+        victim = members[2]
+        victim.disconnect_from_group()
+        for other in members[:2]:
+            sim.network.partition(victim.node_id, other.node_id)
+        run_update(victim, KEY, "counter", "increment", 1)
+        run_update(members[1], KEY, "counter", "increment", 2)
+        sim.run_for(1000)
+        for other in members[:2]:
+            sim.network.heal(victim.node_id, other.node_id)
+        victim.reconnect_to_group()
+        sim.run_for(3000)
+        for member in members:
+            assert member.read_value(KEY, "counter") == 3

@@ -1,0 +1,89 @@
+"""Transaction-migration API tests (section 3.9, via the public API)."""
+
+from repro.api import Connection
+from repro.core import ObjectKey
+from repro.edge import EdgeNode
+from repro.sim import LatencyModel, Simulation
+
+from ..conftest import build_cluster, run_update
+
+KEY = ObjectKey("default", "big")
+
+
+def world(seed=81):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    build_cluster(sim, n_dcs=1, k_target=1)
+    node = sim.spawn(EdgeNode, "e", dc_id="dc0")
+    conn = Connection(node)
+    handle = conn.counter("big")
+    conn.open_bucket([handle])
+    node.connect()
+    sim.run_for(200)
+    return sim, node, conn, handle
+
+
+class TestRemoteTransactions:
+    def test_remote_read_sees_client_writes(self):
+        sim, node, conn, handle = world()
+        run_update(node, KEY, "counter", "increment", 7)
+        out = []
+        conn.run_remote(reads=[handle],
+                        on_done=lambda v, s: out.append(v))
+        sim.run_for(3000)
+        assert out == [(7,)]
+
+    def test_remote_read_retries_until_deps_arrive(self):
+        # The migrated txn depends on an unacked local txn: the DC first
+        # rejects, the retry succeeds once the commit stream drains.
+        sim, node, conn, handle = world()
+        run_update(node, KEY, "counter", "increment", 7)
+        assert node.unacked
+        out = []
+        conn.run_remote(reads=[handle],
+                        on_done=lambda v, s: out.append((v, s.latency)))
+        sim.run_for(5000)
+        assert out and out[0][0] == (7,)
+
+    def test_remote_update_effect_identical_to_local(self):
+        sim, node, conn, handle = world()
+        out = []
+        conn.run_remote(updates=[handle.increment(100)],
+                        on_done=lambda v, s: out.append(s))
+        sim.run_for(3000)
+        assert out and not out[0].read_only
+        assert node.read_value(KEY, "counter") == 100
+
+    def test_remote_latency_is_a_round_trip(self):
+        sim, node, conn, handle = world()
+        out = []
+        conn.run_remote(reads=[handle],
+                        on_done=lambda v, s: out.append(s.latency))
+        sim.run_for(3000)
+        assert out and out[0] >= 20.0
+
+    def test_remote_fail_callback_on_exhausted_retries(self):
+        sim, node, conn, handle = world()
+        # Fabricate an unshippable dependency: an uncovered foreign txn
+        # the DC will never receive.
+        from repro.core import (CommitStamp, Dot, Snapshot, Transaction,
+                                VectorClock, WriteOp)
+        from repro.crdt import Counter
+        ghost_op = Counter().prepare("increment", 1)
+        ghost = Transaction(Dot(50, "ghost"), "ghost",
+                            Snapshot(VectorClock()), CommitStamp(),
+                            [WriteOp(KEY, ghost_op)])
+        node.integrate_foreign_txn(ghost)
+        failures = []
+        conn.run_remote(reads=[handle], on_fail=failures.append)
+        sim.run_for(10_000)
+        assert failures == ["missing-dependencies"]
+
+    def test_remote_requires_edge_node(self):
+        import pytest
+        from repro.edge import CloudClient
+        sim = Simulation(seed=1)
+        build_cluster(sim, n_dcs=1)
+        thin = sim.spawn(CloudClient, "thin", dc_id="dc0")
+        conn = Connection(thin)
+        with pytest.raises(TypeError):
+            conn.run_remote(reads=[conn.counter("c")])

@@ -1,0 +1,128 @@
+"""Property tests for peer groups: convergence and SI under randomness."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ObjectKey
+from repro.groups import GroupMember, form_group
+from repro.sim import LAN, LatencyModel, Simulation
+
+from ..conftest import build_cluster, run_update
+
+KEYS = [ObjectKey("b", name) for name in ("x", "y")]
+
+# A step: (member index, key index, action)
+step_st = st.tuples(st.integers(0, 2), st.integers(0, 1),
+                    st.sampled_from(["update", "advance", "blip"]))
+
+
+def group_world(seed):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    build_cluster(sim, n_dcs=1, k_target=1)
+    members = []
+    for i in range(3):
+        node = sim.spawn(GroupMember, f"m{i}", dc_id="dc0", group_id="g",
+                         parent_id="m0")
+        for key in KEYS:
+            node.declare_interest(key, "counter")
+        members.append(node)
+    for a in members:
+        for b in members:
+            if a.node_id < b.node_id:
+                sim.network.set_link(a.node_id, b.node_id, LAN)
+    form_group(members)
+    sim.run_for(300)
+    # Warm every member's cache ("all users start with an initialised
+    # cache", section 7.3.1): direct cache peeks below then reflect the
+    # true visible state rather than a never-fetched cold journal.
+    for member in members:
+        for key in KEYS:
+            def body(tx, k=key):
+                return (yield tx.read(k, "counter"))
+            member.run_transaction(body)
+    sim.run_for(500)
+    return sim, members
+
+
+@settings(max_examples=20, deadline=None)
+@given(steps=st.lists(step_st, min_size=1, max_size=12),
+       seed=st.integers(0, 5000))
+def test_group_converges_under_random_schedules(steps, seed):
+    sim, members = group_world(seed)
+    expected = {key: 0 for key in KEYS}
+    blipped = None
+    for member_index, key_index, action in steps:
+        member = members[member_index]
+        key = KEYS[key_index]
+        if action == "update":
+            if member is not blipped:
+                run_update(member, key, "counter", "increment", 1)
+                expected[key] += 1
+        elif action == "advance":
+            sim.run_for(120.0)
+        elif action == "blip" and member_index != 0:
+            # A non-parent member drops off the group for a moment.
+            if blipped is None:
+                blipped = member
+                member.disconnect_from_group()
+                for other in members:
+                    if other is not member:
+                        sim.network.partition(member.node_id,
+                                              other.node_id)
+    if blipped is not None:
+        for other in members:
+            if other is not blipped:
+                sim.network.heal(blipped.node_id, other.node_id)
+        blipped.reconnect_to_group()
+    sim.run_for(20_000)
+    for key in KEYS:
+        values = {m.read_value(key, "counter") for m in members}
+        assert values == {expected[key]}, (key, values, expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(burst=st.lists(st.integers(0, 2), min_size=2, max_size=6),
+       seed=st.integers(0, 5000))
+def test_conflicting_visibility_order_agreement(burst, seed):
+    """All members agree on the relative order of conflicting txns."""
+    sim, members = group_world(seed)
+    key = KEYS[0]
+    for member_index in burst:
+        run_update(members[member_index], key, "counter", "increment", 1)
+    sim.run_for(10_000)
+    logs = [[str(t.dot) for t in m.visibility_log if t.touches(key)]
+            for m in members]
+    assert logs[0] == logs[1] == logs[2]
+    assert len(logs[0]) == len(burst)
+
+
+@settings(max_examples=10, deadline=None)
+@given(writers=st.lists(st.integers(0, 2), min_size=1, max_size=5),
+       seed=st.integers(0, 5000))
+def test_psi_group_agrees_on_aborts(writers, seed):
+    """PSI: every member reaches the same commit/abort verdicts."""
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    build_cluster(sim, n_dcs=1, k_target=1)
+    members = []
+    for i in range(3):
+        node = sim.spawn(GroupMember, f"m{i}", dc_id="dc0", group_id="g",
+                         parent_id="m0", commit_variant="psi")
+        node.declare_interest(KEYS[0], "counter")
+        members.append(node)
+    for a in members:
+        for b in members:
+            if a.node_id < b.node_id:
+                sim.network.set_link(a.node_id, b.node_id, LAN)
+    form_group(members)
+    sim.run_for(300)
+    outcomes = []
+    for writer in writers:
+        def body(tx):
+            yield tx.update(KEYS[0], "counter", "increment", 1)
+        members[writer].run_transaction(
+            body, on_done=lambda r, s: outcomes.append("commit"),
+            on_abort=lambda e: outcomes.append("abort"))
+    sim.run_for(10_000)
+    assert len(outcomes) == len(writers)
+    commits = outcomes.count("commit")
+    values = {m.read_value(KEYS[0], "counter") for m in members}
+    assert values == {commits}

@@ -1,0 +1,101 @@
+"""Property tests for the security window (§5.3, 6.4).
+
+The store stays TCC+ under any policy history: masking hides but never
+destroys, recomputation is a pure function of (policy, transaction set),
+and the masked set is transitively closed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (CommitStamp, Dot, ObjectKey, Snapshot, Transaction,
+                        VectorClock, WriteOp)
+from repro.crdt import Counter
+from repro.security import SecurityEnforcer, UPDATE, encode_acl
+
+USERS = ["alice", "bob", "carl"]
+KEY = ObjectKey("docs", "book")
+OBJ = "docs/book"
+
+
+def chain_of_txns(issuers):
+    """A causal chain: txn i+1 depends on txn i (via the vector)."""
+    txns = []
+    for index, issuer in enumerate(issuers):
+        op = Counter().prepare("increment", 1)
+        txns.append(Transaction(
+            Dot(index + 1, issuer), issuer,
+            Snapshot(VectorClock({"dc0": index})),
+            CommitStamp({"dc0": index + 1}),
+            [WriteOp(KEY, op)], issuer=issuer))
+    return txns
+
+
+def enforcer_allowing(allowed_users):
+    enforcer = SecurityEnforcer()
+    entries = [encode_acl(OBJ, user, UPDATE) for user in allowed_users]
+    if not entries:
+        # Restrict the object so that *nobody* may update it.
+        entries = [encode_acl(OBJ, "__admin__", UPDATE)]
+    enforcer.load_from_values(entries, {}, {})
+    return enforcer
+
+
+@settings(max_examples=50, deadline=None)
+@given(issuers=st.lists(st.sampled_from(USERS), min_size=1, max_size=8),
+       allowed=st.sets(st.sampled_from(USERS)))
+def test_masked_set_is_prefix_closed_on_chains(issuers, allowed):
+    """On a causal chain, everything after the first masked txn is
+    masked (transitive closure)."""
+    txns = chain_of_txns(issuers)
+    enforcer = enforcer_allowing(allowed)
+    masked = enforcer.recompute(txns)
+    first_bad = next((i for i, issuer in enumerate(issuers)
+                      if issuer not in allowed), None)
+    if first_bad is None:
+        assert masked == set()
+    else:
+        assert masked == {t.dot for t in txns[first_bad:]}
+
+
+@settings(max_examples=50, deadline=None)
+@given(issuers=st.lists(st.sampled_from(USERS), min_size=1, max_size=8),
+       allowed=st.sets(st.sampled_from(USERS)))
+def test_recompute_is_deterministic(issuers, allowed):
+    txns = chain_of_txns(issuers)
+    a = enforcer_allowing(allowed).recompute(txns)
+    b = enforcer_allowing(allowed).recompute(list(reversed(txns)))
+    assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(issuers=st.lists(st.sampled_from(USERS), min_size=1, max_size=8),
+       allowed_first=st.sets(st.sampled_from(USERS)),
+       allowed_second=st.sets(st.sampled_from(USERS)))
+def test_policy_changes_never_lose_data(issuers, allowed_first,
+                                        allowed_second):
+    """Masking is a window: restoring the policy restores visibility."""
+    txns = chain_of_txns(issuers)
+    enforcer = enforcer_allowing(allowed_first)
+    enforcer.recompute(txns)
+    # Policy flips...
+    enforcer.load_from_values(
+        [encode_acl(OBJ, user, UPDATE) for user in allowed_second]
+        or [encode_acl(OBJ, "__admin__", UPDATE)], {}, {})
+    enforcer.recompute(txns)
+    # ...and flips back: the window is exactly what it was.
+    enforcer.load_from_values(
+        [encode_acl(OBJ, user, UPDATE) for user in allowed_first]
+        or [encode_acl(OBJ, "__admin__", UPDATE)], {}, {})
+    again = enforcer.recompute(txns)
+    assert again == enforcer_allowing(allowed_first).recompute(txns)
+
+
+@settings(max_examples=50, deadline=None)
+@given(issuers=st.lists(st.sampled_from(USERS), min_size=1, max_size=6),
+       allowed=st.sets(st.sampled_from(USERS)))
+def test_wider_policy_masks_less(issuers, allowed):
+    """Monotonicity: granting more users never masks more txns."""
+    txns = chain_of_txns(issuers)
+    narrow = enforcer_allowing(allowed).recompute(txns)
+    wide = enforcer_allowing(set(USERS)).recompute(txns)
+    assert wide <= narrow

@@ -1,0 +1,84 @@
+"""Property tests for the simulation substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Actor, EventLoop, LatencyModel, Simulation
+
+
+class _Collector(Actor):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, message, sender):
+        self.received.append((message, self.now))
+
+
+@settings(max_examples=40, deadline=None)
+@given(latencies=st.lists(st.floats(0.1, 50.0), min_size=2, max_size=20),
+       jitter=st.floats(0.0, 30.0), seed=st.integers(0, 1000))
+def test_fifo_holds_under_any_jitter(latencies, jitter, seed):
+    """Messages on one directed link never reorder, whatever the jitter."""
+    sim = Simulation(seed=seed,
+                     default_latency=LatencyModel(latencies[0], jitter))
+    a = sim.spawn(_Collector, "a")
+    b = sim.spawn(_Collector, "b")
+    for index in range(len(latencies)):
+        sim.loop.schedule(float(index),
+                          lambda i=index: a.send("b", i))
+    sim.run()
+    order = [m for m, _t in b.received]
+    assert order == sorted(order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+def test_event_times_monotone(delays):
+    """The virtual clock never goes backwards."""
+    loop = EventLoop()
+    seen = []
+    for delay in delays:
+        loop.schedule(delay, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       sends=st.lists(st.integers(0, 1), min_size=1, max_size=15))
+def test_simulation_replay_is_exact(seed, sends):
+    """Two runs from the same seed produce identical delivery traces."""
+    def run():
+        sim = Simulation(seed=seed,
+                         default_latency=LatencyModel(5.0, 10.0))
+        a = sim.spawn(_Collector, "a")
+        b = sim.spawn(_Collector, "b")
+        nodes = [a, b]
+        for index, src in enumerate(sends):
+            sim.loop.schedule(
+                float(index),
+                lambda s=src, i=index: nodes[s].send(
+                    nodes[1 - s].node_id, i))
+        sim.run()
+        return [(m, round(t, 9)) for m, t in a.received + b.received]
+
+    assert run() == run()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), rate=st.floats(0.0, 1.0))
+def test_loss_rate_bounds_deliveries(seed, rate):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(1.0))
+    a = sim.spawn(_Collector, "a")
+    b = sim.spawn(_Collector, "b")
+    sim.network.set_loss_rate("a", "b", rate)
+    for i in range(50):
+        sim.loop.schedule(float(i), lambda i=i: a.send("b", i))
+    sim.run()
+    delivered = len(b.received)
+    assert delivered <= 50
+    if rate == 0.0:
+        assert delivered == 50
+    if rate == 1.0:
+        assert delivered == 0

@@ -1,0 +1,90 @@
+"""API handle tests: descriptors mirror the paper's datatype surface."""
+
+from repro.api import (CounterHandle, MapHandle, ORMapHandle,
+                       RegisterHandle, SequenceHandle, SetHandle)
+from repro.core import ObjectKey
+from repro.crdt import new_crdt
+
+
+import itertools
+
+_COUNTER = itertools.count(1)
+
+
+def run_descriptor(descriptor, state=None):
+    """Apply an update descriptor to a fresh (or given) CRDT."""
+    state = state or new_crdt(descriptor.type_name)
+    op = state.prepare(descriptor.method, *descriptor.args)
+    state.apply(op.with_tag((next(_COUNTER), "t", 0)))
+    return state
+
+
+class TestHandleNaming:
+    def test_key_includes_bucket(self):
+        handle = CounterHandle("cnt", "mybucket")
+        assert handle.key == ObjectKey("mybucket", "cnt")
+
+    def test_default_bucket(self):
+        assert CounterHandle("cnt").key.bucket == "default"
+
+    def test_read_descriptor(self):
+        rd = SetHandle("s").read()
+        assert rd.type_name == "orset"
+        assert rd.key.key == "s"
+
+
+class TestDescriptors:
+    def test_counter_increment(self):
+        d = CounterHandle("c").increment(3)
+        assert run_descriptor(d).value() == 3
+
+    def test_counter_decrement(self):
+        d = CounterHandle("c").decrement(2)
+        assert run_descriptor(d).value() == -2
+
+    def test_register_assign(self):
+        d = RegisterHandle("r").assign("v")
+        assert run_descriptor(d).value() == "v"
+
+    def test_set_operations(self):
+        state = run_descriptor(SetHandle("s").add_all([1, 2, 3]))
+        state = run_descriptor(SetHandle("s").remove(2), state)
+        assert state.value() == {1, 3}
+
+    def test_sequence_operations(self):
+        state = run_descriptor(SequenceHandle("q").append("a"))
+        state = run_descriptor(SequenceHandle("q").insert(0, "z"), state)
+        assert state.value() == ["z", "a"]
+
+    def test_gmap_nested_register(self):
+        # The paper's example: map.register("a").assign(42).
+        d = MapHandle("m").register("a").assign(42)
+        assert d.type_name == "gmap"
+        assert d.method == "update"
+        state = run_descriptor(d)
+        assert state.value() == {"a": 42}
+
+    def test_gmap_nested_set_add_all(self):
+        # map.set("e").addAll([1, 2, 3, 4]) from Figure 3.
+        d = MapHandle("m").set("e").add_all([1, 2, 3, 4])
+        state = run_descriptor(d)
+        assert state.value() == {"e": {1, 2, 3, 4}}
+
+    def test_gmap_nested_counter(self):
+        d = MapHandle("m").counter("hits").increment(5)
+        assert run_descriptor(d).value() == {"hits": 5}
+
+    def test_gmap_nested_sequence(self):
+        d = MapHandle("m").sequence("log").append("entry")
+        assert run_descriptor(d).value() == {"log": ["entry"]}
+
+    def test_ormap_remove(self):
+        state = run_descriptor(
+            ORMapHandle("m").counter("a").increment(1))
+        state = run_descriptor(ORMapHandle("m").remove("a"), state)
+        assert state.value() == {}
+
+    def test_descriptors_are_plain_data(self):
+        d = CounterHandle("c").increment(1)
+        assert d.key == ObjectKey("default", "c")
+        assert d.args == (1,)

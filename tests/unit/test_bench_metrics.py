@@ -1,0 +1,80 @@
+"""Benchmark metrics aggregation tests."""
+
+import math
+
+from repro.bench import (bucket_timeline, percentile, served_by_breakdown,
+                         summarise, throughput, timeline)
+from repro.edge import TxnStats
+
+
+def stats(latencies, start=0.0, served_by="client", aborted=False):
+    return [TxnStats(start, start + lat, served_by, read_only=True,
+                     aborted=aborted) for lat in latencies]
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_p100_is_max(self):
+        assert percentile([1, 2, 3], 100) == 3
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+
+class TestSummarise:
+    def test_basic(self):
+        summary = summarise(stats([1.0, 2.0, 3.0]))
+        assert summary.count == 3
+        assert summary.mean_ms == 2.0
+        assert summary.max_ms == 3.0
+
+    def test_window_filtering(self):
+        records = stats([5.0], start=0.0) + stats([5.0], start=100.0)
+        summary = summarise(records, since=50.0)
+        assert summary.count == 1
+
+    def test_aborted_excluded_by_default(self):
+        records = stats([1.0]) + stats([99.0], aborted=True)
+        assert summarise(records).count == 1
+        assert summarise(records, include_aborted=True).count == 2
+
+    def test_empty_summary(self):
+        assert summarise([]).count == 0
+        assert math.isnan(summarise([]).mean_ms)
+
+
+class TestThroughput:
+    def test_txn_per_second(self):
+        records = stats([1.0] * 100, start=0.0)
+        assert throughput(records, 0.0, 1000.0) == 100.0
+
+    def test_window_excludes_outside(self):
+        records = stats([1.0], start=0.0) + stats([1.0], start=5000.0)
+        assert throughput(records, 0.0, 1000.0) == 1.0
+
+
+class TestTimeline:
+    def test_sorted_points(self):
+        records = stats([1.0], start=50.0) + stats([1.0], start=10.0)
+        points = timeline(records)
+        assert [p.at_ms for p in points] == [11.0, 51.0]
+
+    def test_served_by_breakdown(self):
+        records = stats([1.0] * 3) + stats([1.0] * 2, served_by="dc")
+        assert served_by_breakdown(records) == {"client": 3, "dc": 2}
+
+    def test_bucketing(self):
+        records = stats([2.0], start=0.0) + stats([4.0], start=1.0) \
+            + stats([10.0], start=100.0)
+        points = timeline(records)
+        buckets = bucket_timeline(points, bucket_ms=50.0)
+        assert len(buckets) == 3 or len(buckets) == 2
+        assert buckets[0][1] == 3.0  # mean of 2 and 4
+
+    def test_bucket_filter_by_population(self):
+        records = stats([2.0]) + stats([8.0], served_by="dc")
+        points = timeline(records)
+        only_dc = bucket_timeline(points, 50.0, served_by="dc")
+        assert only_dc[0][1] == 8.0

@@ -1,0 +1,108 @@
+"""Collaboration-group tests: trust windows, keys, versioning (§5.3)."""
+
+import pytest
+
+from repro.core import (CommitStamp, Dot, ObjectKey, Snapshot, Transaction,
+                        VectorClock, WriteOp)
+from repro.crdt import Counter
+from repro.groups import CollaborationGroup, VersionHistory
+from repro.security import KeyService
+
+
+def txn(counter, issuer, snapshot_vector=None, local_deps=(),
+        entries=None):
+    op = Counter().prepare("increment", 1)
+    return Transaction(Dot(counter, issuer), issuer,
+                       Snapshot(VectorClock(snapshot_vector or {}),
+                                local_deps),
+                       CommitStamp(entries),
+                       [WriteOp(ObjectKey("doc", "model"), op)],
+                       issuer=issuer)
+
+
+class TestMembershipAndKeys:
+    def test_member_gets_session_key(self):
+        group = CollaborationGroup("design", KeyService(),
+                                   members={"alice"})
+        key = group.session_key("alice", "model")
+        assert key.key_id == "collab/design/model"
+
+    def test_key_stable_across_reconnection(self):
+        # "The key remains valid through disconnection and reconnection."
+        group = CollaborationGroup("design", KeyService(),
+                                   members={"alice"})
+        k1 = group.session_key("alice", "model")
+        k2 = group.session_key("alice", "model")
+        assert k1.secret == k2.secret
+
+    def test_non_member_denied(self):
+        group = CollaborationGroup("design", KeyService())
+        with pytest.raises(PermissionError):
+            group.session_key("mallory", "model")
+
+    def test_membership_changes(self):
+        group = CollaborationGroup("design", KeyService())
+        group.add_member("bob")
+        assert group.session_key("bob", "model")
+        group.remove_member("bob")
+        with pytest.raises(PermissionError):
+            group.session_key("bob", "model")
+
+
+class TestTrustWindow:
+    def test_open_group_admits_everyone(self):
+        group = CollaborationGroup("g", KeyService(), members={"alice"})
+        assert group.admits(txn(1, "stranger"))
+
+    def test_members_only_restricts(self):
+        group = CollaborationGroup("g", KeyService(), members={"alice"},
+                                   members_only=True)
+        assert group.admits(txn(1, "alice"))
+        assert not group.admits(txn(2, "stranger"))
+
+    def test_mask_filter_direct(self):
+        group = CollaborationGroup("g", KeyService(), members={"alice"},
+                                   members_only=True)
+        bad = txn(1, "stranger")
+        good = txn(2, "alice")
+        masked = group.mask_filter([bad, good])
+        assert masked == {bad.dot}
+
+    def test_mask_filter_transitive_by_dot(self):
+        group = CollaborationGroup("g", KeyService(), members={"alice"},
+                                   members_only=True)
+        bad = txn(1, "stranger")
+        dependent = txn(2, "alice", local_deps=[bad.dot])
+        masked = group.mask_filter([bad, dependent])
+        assert masked == {bad.dot, dependent.dot}
+
+    def test_mask_filter_transitive_by_vector(self):
+        group = CollaborationGroup("g", KeyService(), members={"alice"},
+                                   members_only=True)
+        bad = txn(1, "stranger", entries={"dc0": 3})
+        dependent = txn(2, "alice", snapshot_vector={"dc0": 3})
+        independent = txn(3, "alice", snapshot_vector={"dc0": 2})
+        masked = group.mask_filter([bad, dependent, independent])
+        assert masked == {bad.dot, dependent.dot}
+
+
+class TestVersionHistory:
+    def test_tag_and_get(self):
+        history = VersionHistory(ObjectKey("doc", "model"))
+        history.tag("v1", {"parts": 3}, at_time=10.0)
+        history.tag("v2", {"parts": 5}, at_time=20.0)
+        assert history.get("v1") == {"parts": 3}
+        assert history.get("v2") == {"parts": 5}
+        assert history.names() == ["v1", "v2"]
+
+    def test_retag_returns_latest(self):
+        history = VersionHistory(ObjectKey("doc", "model"))
+        history.tag("draft", 1)
+        history.tag("draft", 2)
+        assert history.get("draft") == 2
+        assert len(history) == 2
+
+    def test_unknown_version_raises(self):
+        history = VersionHistory(ObjectKey("doc", "model"))
+        with pytest.raises(KeyError):
+            history.get("nope")

@@ -1,0 +1,54 @@
+"""Causal-compatibility checks for migration (§3.8)."""
+
+from repro.core import (CommitStamp, Dot, DotTracker, ObjectKey, Snapshot,
+                        Transaction, VectorClock, WriteOp,
+                        causally_compatible, missing_dependencies,
+                        snapshot_compatible)
+from repro.crdt import Counter
+
+
+def make_txn(counter, snapshot_vector=None, local_deps=()):
+    op = Counter().prepare("increment", 1)
+    return Transaction(
+        dot=Dot(counter, "e"), origin="e",
+        snapshot=Snapshot(VectorClock(snapshot_vector or {}), local_deps),
+        commit=CommitStamp(), writes=[WriteOp(ObjectKey("b", "x"), op)])
+
+
+class TestCausalCompatibility:
+    def test_compatible_when_dc_covers_edge(self):
+        assert causally_compatible(
+            VectorClock({"dc0": 3}), [], VectorClock({"dc0": 5}),
+            DotTracker())
+
+    def test_incompatible_when_edge_ahead(self):
+        assert not causally_compatible(
+            VectorClock({"dc0": 5}), [], VectorClock({"dc0": 3}),
+            DotTracker())
+
+    def test_dot_dependencies_checked(self):
+        dep = Dot(1, "other")
+        tracker = DotTracker()
+        assert not causally_compatible(VectorClock(), [dep],
+                                       VectorClock(), tracker)
+        tracker.observe(dep)
+        assert causally_compatible(VectorClock(), [dep],
+                                   VectorClock(), tracker)
+
+    def test_snapshot_compatible(self):
+        snap = Snapshot(VectorClock({"dc0": 1}))
+        assert snapshot_compatible(snap, VectorClock({"dc0": 1}),
+                                   DotTracker())
+        assert not snapshot_compatible(snap, VectorClock(), DotTracker())
+
+    def test_missing_dependencies_filters(self):
+        ok = make_txn(1, snapshot_vector={"dc0": 1})
+        behind = make_txn(2, snapshot_vector={"dc0": 9})
+        missing = missing_dependencies([ok, behind],
+                                       VectorClock({"dc0": 2}),
+                                       DotTracker())
+        assert missing == [behind]
+
+    def test_empty_state_compatible_with_anything(self):
+        assert causally_compatible(VectorClock(), [],
+                                   VectorClock(), DotTracker())

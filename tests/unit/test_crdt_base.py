@@ -1,0 +1,85 @@
+"""CRDT registry and serialisation plumbing tests."""
+
+import pytest
+
+from repro.crdt import (CRDTError, crdt_type, new_crdt, registered_types,
+                        state_from_dict)
+from repro.crdt.base import OpBasedCRDT, Operation, register_crdt
+
+from ..conftest import apply_op
+
+
+EXPECTED_TYPES = {"counter", "pncounter", "lwwregister", "mvregister",
+                  "gset", "orset", "rwset", "gmap", "ormap", "rga",
+                  "ewflag", "dwflag"}
+
+
+class TestRegistry:
+    def test_all_paper_types_registered(self):
+        assert EXPECTED_TYPES <= set(registered_types())
+
+    def test_lookup_by_name(self):
+        assert crdt_type("counter").TYPE_NAME == "counter"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CRDTError):
+            crdt_type("nope")
+
+    def test_new_crdt_instantiates_fresh(self):
+        a = new_crdt("counter")
+        b = new_crdt("counter")
+        assert a is not b
+        assert a.value() == 0
+
+    def test_duplicate_registration_rejected(self):
+        class Dup(OpBasedCRDT):
+            TYPE_NAME = "counter"
+
+        with pytest.raises(CRDTError):
+            register_crdt(Dup)
+
+
+class TestStateSerialisation:
+    @pytest.mark.parametrize("type_name,method,args", [
+        ("counter", "increment", (3,)),
+        ("pncounter", "increment", (2,)),
+        ("lwwregister", "assign", ("v",)),
+        ("mvregister", "assign", ("v",)),
+        ("gset", "add", ("x",)),
+        ("orset", "add", ("x",)),
+        ("rwset", "add", ("x",)),
+        ("gmap", "update", ("k", "counter", "increment", 1)),
+        ("ormap", "update", ("k", "counter", "increment", 1)),
+        ("rga", "append", ("x",)),
+        ("ewflag", "enable", ()),
+        ("dwflag", "enable", ()),
+    ])
+    def test_roundtrip_every_type(self, type_name, method, args):
+        crdt = new_crdt(type_name)
+        apply_op(crdt, method, *args)
+        restored = state_from_dict(crdt.to_dict())
+        assert type(restored) is type(crdt)
+        assert restored.value() == crdt.value()
+
+    def test_state_dict_carries_type(self):
+        crdt = new_crdt("orset")
+        assert crdt.to_dict()["type"] == "orset"
+
+
+class TestOperation:
+    def test_with_tag_copies(self):
+        op = Operation("counter", "increment", {"amount": 1})
+        tagged = op.with_tag((1, "a", 0))
+        assert op.tag is None
+        assert tagged.tag == (1, "a", 0)
+
+    def test_equality_and_hash(self):
+        op1 = Operation("counter", "increment", {"amount": 1}, (1, "a", 0))
+        op2 = Operation("counter", "increment", {"amount": 1}, (1, "a", 0))
+        assert op1 == op2
+        assert hash(op1) == hash(op2)
+
+    def test_dict_roundtrip_preserves_tag(self):
+        op = Operation("orset", "add", {"value": "x"}, (4, "n", 2))
+        restored = Operation.from_dict(op.to_dict())
+        assert restored == op

@@ -1,0 +1,131 @@
+"""Counter and PNCounter unit tests."""
+
+import pytest
+
+from repro.crdt import Counter, CRDTError, PNCounter
+from repro.crdt.base import Operation
+
+from ..conftest import apply_op, tag
+
+
+class TestCounter:
+    def test_initial_value_is_zero(self):
+        assert Counter().value() == 0
+
+    def test_increment(self):
+        c = Counter()
+        apply_op(c, "increment", 5)
+        assert c.value() == 5
+
+    def test_increment_default_amount(self):
+        c = Counter()
+        apply_op(c, "increment")
+        assert c.value() == 1
+
+    def test_decrement(self):
+        c = Counter()
+        apply_op(c, "decrement", 3)
+        assert c.value() == -3
+
+    def test_mixed_operations(self):
+        c = Counter()
+        apply_op(c, "increment", 10)
+        apply_op(c, "decrement", 4)
+        apply_op(c, "increment", 1)
+        assert c.value() == 7
+
+    def test_concurrent_increments_commute(self):
+        a, b = Counter(), Counter()
+        op1 = a.prepare("increment", 2).with_tag(tag(origin="a"))
+        op2 = b.prepare("increment", 3).with_tag(tag(origin="b"))
+        a.apply(op1)
+        a.apply(op2)
+        b.apply(op2)
+        b.apply(op1)
+        assert a.value() == b.value() == 5
+
+    def test_non_int_increment_rejected(self):
+        with pytest.raises(CRDTError):
+            Counter().prepare("increment", 1.5)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(CRDTError):
+            Counter().prepare("multiply", 2)
+
+    def test_untagged_apply_rejected(self):
+        c = Counter()
+        op = c.prepare("increment", 1)
+        with pytest.raises(CRDTError):
+            c.apply(op)
+
+    def test_wrong_type_apply_rejected(self):
+        c = Counter()
+        op = Operation("orset", "add", {"value": 1}, tag())
+        with pytest.raises(CRDTError):
+            c.apply(op)
+
+    def test_clone_is_independent(self):
+        c = Counter()
+        apply_op(c, "increment", 4)
+        d = c.clone()
+        apply_op(d, "increment", 1)
+        assert c.value() == 4
+        assert d.value() == 5
+
+    def test_serialisation_roundtrip(self):
+        c = Counter()
+        apply_op(c, "increment", 9)
+        restored = Counter.from_dict(c.to_dict())
+        assert restored.value() == 9
+
+    def test_operation_serialisation_roundtrip(self):
+        c = Counter()
+        op = c.prepare("increment", 2).with_tag(tag())
+        restored = Operation.from_dict(op.to_dict())
+        d = Counter()
+        d.apply(restored)
+        assert d.value() == 2
+
+
+class TestPNCounter:
+    def test_positive_negative_tracked_separately(self):
+        c = PNCounter()
+        apply_op(c, "increment", 10)
+        apply_op(c, "decrement", 3)
+        assert c.value() == 7
+        assert c.positive == 10
+        assert c.negative == 3
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(CRDTError):
+            PNCounter().prepare("increment", -1)
+
+    def test_negative_decrement_rejected(self):
+        with pytest.raises(CRDTError):
+            PNCounter().prepare("decrement", -1)
+
+    def test_concurrent_ops_commute(self):
+        a, b = PNCounter(), PNCounter()
+        op1 = a.prepare("increment", 5).with_tag(tag(origin="a"))
+        op2 = b.prepare("decrement", 2).with_tag(tag(origin="b"))
+        for op in (op1, op2):
+            a.apply(op)
+        for op in (op2, op1):
+            b.apply(op)
+        assert a.value() == b.value() == 3
+
+    def test_serialisation_roundtrip(self):
+        c = PNCounter()
+        apply_op(c, "increment", 4)
+        apply_op(c, "decrement", 1)
+        restored = PNCounter.from_dict(c.to_dict())
+        assert restored.value() == 3
+        assert restored.positive == 4
+
+    def test_clone(self):
+        c = PNCounter()
+        apply_op(c, "increment", 2)
+        d = c.clone()
+        apply_op(d, "decrement", 2)
+        assert c.value() == 2
+        assert d.value() == 0

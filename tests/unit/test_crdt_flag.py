@@ -1,0 +1,83 @@
+"""EWFlag / DWFlag unit tests."""
+
+from repro.crdt import DWFlag, EWFlag
+
+from ..conftest import apply_op, tag
+
+
+class TestEWFlag:
+    def test_initial_false(self):
+        assert EWFlag().value() is False
+
+    def test_enable(self):
+        f = EWFlag()
+        apply_op(f, "enable")
+        assert f.value() is True
+
+    def test_enable_then_disable(self):
+        f = EWFlag()
+        apply_op(f, "enable")
+        apply_op(f, "disable")
+        assert f.value() is False
+
+    def test_concurrent_enable_wins(self):
+        a, b = EWFlag(), EWFlag()
+        seed = a.prepare("enable").with_tag(tag(1, origin="a"))
+        a.apply(seed)
+        b.apply(seed)
+        disable = a.prepare("disable").with_tag(tag(2, origin="a"))
+        enable = b.prepare("enable").with_tag(tag(2, origin="b"))
+        a.apply(disable)
+        a.apply(enable)
+        b.apply(enable)
+        b.apply(disable)
+        assert a.value() is b.value() is True
+
+    def test_roundtrip(self):
+        f = EWFlag()
+        apply_op(f, "enable")
+        assert EWFlag.from_dict(f.to_dict()).value() is True
+
+    def test_clone(self):
+        f = EWFlag()
+        apply_op(f, "enable")
+        c = f.clone()
+        apply_op(c, "disable")
+        assert f.value() is True
+        assert c.value() is False
+
+
+class TestDWFlag:
+    def test_initial_false(self):
+        assert DWFlag().value() is False
+
+    def test_enable(self):
+        f = DWFlag()
+        apply_op(f, "enable")
+        assert f.value() is True
+
+    def test_concurrent_disable_wins(self):
+        a, b = DWFlag(), DWFlag()
+        seed = a.prepare("enable").with_tag(tag(1, origin="a"))
+        a.apply(seed)
+        b.apply(seed)
+        disable = a.prepare("disable").with_tag(tag(2, origin="a"))
+        enable = b.prepare("enable").with_tag(tag(2, origin="b"))
+        a.apply(disable)
+        a.apply(enable)
+        b.apply(enable)
+        b.apply(disable)
+        assert a.value() is b.value() is False
+
+    def test_causal_enable_after_disable(self):
+        f = DWFlag()
+        apply_op(f, "enable")
+        apply_op(f, "disable")
+        apply_op(f, "enable")
+        assert f.value() is True
+
+    def test_roundtrip(self):
+        f = DWFlag()
+        apply_op(f, "enable")
+        apply_op(f, "disable")
+        assert DWFlag.from_dict(f.to_dict()).value() is False

@@ -1,0 +1,141 @@
+"""GMap and ORMap (nested CRDT maps) unit tests."""
+
+import pytest
+
+from repro.crdt import CRDTError, GMap, ORMap
+
+from ..conftest import apply_op, tag
+
+
+class TestGMap:
+    def test_empty(self):
+        assert GMap().value() == {}
+
+    def test_nested_register(self):
+        m = GMap()
+        apply_op(m, "update", "a", "lwwregister", "assign", 42)
+        assert m.value() == {"a": 42}
+
+    def test_nested_set(self):
+        m = GMap()
+        apply_op(m, "update", "e", "orset", "add_all", [1, 2, 3, 4])
+        assert m.value() == {"e": {1, 2, 3, 4}}
+
+    def test_nested_counter(self):
+        m = GMap()
+        apply_op(m, "update", "n", "counter", "increment", 2)
+        apply_op(m, "update", "n", "counter", "increment", 3)
+        assert m.value() == {"n": 5}
+
+    def test_multiple_fields(self):
+        m = GMap()
+        apply_op(m, "update", "a", "lwwregister", "assign", "x")
+        apply_op(m, "update", "b", "counter", "increment", 1)
+        assert m.value() == {"a": "x", "b": 1}
+        assert m.keys() == {"a", "b"}
+        assert m.has_key("a")
+
+    def test_type_conflict_rejected(self):
+        m = GMap()
+        apply_op(m, "update", "a", "counter", "increment", 1)
+        with pytest.raises(CRDTError):
+            m.prepare("update", "a", "orset", "add", 1)
+
+    def test_reading_missing_key_gives_initial_state(self):
+        m = GMap()
+        assert m.child("nope", "counter").value() == 0
+
+    def test_concurrent_updates_to_same_field_merge(self):
+        a, b = GMap(), GMap()
+        op1 = a.prepare("update", "n", "counter", "increment", 2) \
+            .with_tag(tag(1, origin="a"))
+        op2 = b.prepare("update", "n", "counter", "increment", 3) \
+            .with_tag(tag(1, origin="b"))
+        for op in (op1, op2):
+            a.apply(op)
+        for op in (op2, op1):
+            b.apply(op)
+        assert a.value() == b.value() == {"n": 5}
+
+    def test_nested_observed_remove_semantics(self):
+        # The nested OR-set prepare must observe the *map's* nested state.
+        m = GMap()
+        apply_op(m, "update", "s", "orset", "add", "x")
+        apply_op(m, "update", "s", "orset", "remove", "x")
+        assert m.value() == {"s": set()}
+
+    def test_roundtrip(self):
+        m = GMap()
+        apply_op(m, "update", "a", "lwwregister", "assign", 1)
+        apply_op(m, "update", "s", "orset", "add", "e")
+        restored = GMap.from_dict(m.to_dict())
+        assert restored.value() == {"a": 1, "s": {"e"}}
+
+    def test_clone_independent(self):
+        m = GMap()
+        apply_op(m, "update", "a", "counter", "increment", 1)
+        c = m.clone()
+        apply_op(c, "update", "a", "counter", "increment", 1)
+        assert m.value() == {"a": 1}
+        assert c.value() == {"a": 2}
+
+    def test_deep_nesting(self):
+        m = GMap()
+        apply_op(m, "update", "inner", "gmap", "update",
+                 "leaf", "counter", "increment", 7)
+        assert m.value() == {"inner": {"leaf": 7}}
+
+
+class TestORMap:
+    def test_remove_key(self):
+        m = ORMap()
+        apply_op(m, "update", "a", "counter", "increment", 1)
+        apply_op(m, "remove", "a")
+        assert m.value() == {}
+        assert not m.has_key("a")
+
+    def test_update_wins_over_concurrent_remove(self):
+        a, b = ORMap(), ORMap()
+        op1 = a.prepare("update", "k", "counter", "increment", 1) \
+            .with_tag(tag(1, origin="a"))
+        a.apply(op1)
+        b.apply(op1)
+        rem = a.prepare("remove", "k").with_tag(tag(2, origin="a"))
+        upd = b.prepare("update", "k", "counter", "increment", 1) \
+            .with_tag(tag(2, origin="b"))
+        a.apply(rem)
+        a.apply(upd)
+        b.apply(upd)
+        b.apply(rem)
+        assert a.has_key("k") and b.has_key("k")
+        assert a.value() == b.value()
+
+    def test_causal_remove_hides_then_update_revives(self):
+        m = ORMap()
+        apply_op(m, "update", "k", "counter", "increment", 5)
+        apply_op(m, "remove", "k")
+        assert m.value() == {}
+        apply_op(m, "update", "k", "counter", "increment", 1)
+        # Revive semantics: the key returns with its full history.
+        assert m.value() == {"k": 6}
+
+    def test_remove_unknown_key_noop(self):
+        m = ORMap()
+        apply_op(m, "remove", "ghost")
+        assert m.value() == {}
+
+    def test_roundtrip(self):
+        m = ORMap()
+        apply_op(m, "update", "a", "lwwregister", "assign", "v")
+        apply_op(m, "update", "b", "counter", "increment", 1)
+        apply_op(m, "remove", "b")
+        restored = ORMap.from_dict(m.to_dict())
+        assert restored.value() == {"a": "v"}
+
+    def test_clone(self):
+        m = ORMap()
+        apply_op(m, "update", "a", "counter", "increment", 1)
+        c = m.clone()
+        apply_op(c, "remove", "a")
+        assert m.value() == {"a": 1}
+        assert c.value() == {}

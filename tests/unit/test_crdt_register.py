@@ -1,0 +1,113 @@
+"""LWWRegister and MVRegister unit tests."""
+
+from repro.crdt import LWWRegister, MVRegister
+
+from ..conftest import apply_op, tag
+
+
+class TestLWWRegister:
+    def test_initial_value_none(self):
+        assert LWWRegister().value() is None
+
+    def test_assign(self):
+        r = LWWRegister()
+        apply_op(r, "assign", "hello")
+        assert r.value() == "hello"
+
+    def test_later_assign_wins(self):
+        r = LWWRegister()
+        apply_op(r, "assign", "first", counter=1)
+        apply_op(r, "assign", "second", counter=2)
+        assert r.value() == "second"
+
+    def test_concurrent_assigns_highest_tag_wins(self):
+        a, b = LWWRegister(), LWWRegister()
+        op1 = a.prepare("assign", "from-a").with_tag(tag(5, origin="a"))
+        op2 = b.prepare("assign", "from-b").with_tag(tag(5, origin="b"))
+        for op in (op1, op2):
+            a.apply(op)
+        for op in (op2, op1):
+            b.apply(op)
+        # (5, "b") > (5, "a"), so b's assignment wins at both replicas.
+        assert a.value() == b.value() == "from-b"
+
+    def test_stale_assign_ignored(self):
+        r = LWWRegister()
+        apply_op(r, "assign", "new", counter=10)
+        op = LWWRegister().prepare("assign", "old").with_tag(tag(1))
+        r.apply(op)
+        assert r.value() == "new"
+
+    def test_winning_tag_exposed(self):
+        r = LWWRegister()
+        apply_op(r, "assign", "x", counter=3)
+        assert r.winning_tag == (3, "t", 0)
+
+    def test_clone(self):
+        r = LWWRegister()
+        apply_op(r, "assign", 1, counter=1)
+        s = r.clone()
+        apply_op(s, "assign", 2, counter=2)
+        assert r.value() == 1
+        assert s.value() == 2
+
+    def test_serialisation_roundtrip(self):
+        r = LWWRegister()
+        apply_op(r, "assign", [1, 2], counter=4)
+        restored = LWWRegister.from_dict(r.to_dict())
+        assert restored.value() == [1, 2]
+        assert restored.winning_tag == r.winning_tag
+
+
+class TestMVRegister:
+    def test_initial_empty(self):
+        assert MVRegister().value() == []
+
+    def test_single_assign(self):
+        r = MVRegister()
+        apply_op(r, "assign", "v")
+        assert r.value() == ["v"]
+
+    def test_sequential_assign_supersedes(self):
+        r = MVRegister()
+        apply_op(r, "assign", "old")
+        apply_op(r, "assign", "new")
+        assert r.value() == ["new"]
+
+    def test_concurrent_assigns_both_kept(self):
+        a, b = MVRegister(), MVRegister()
+        op1 = a.prepare("assign", "A").with_tag(tag(1, origin="a"))
+        op2 = b.prepare("assign", "B").with_tag(tag(1, origin="b"))
+        for op in (op1, op2):
+            a.apply(op)
+        for op in (op2, op1):
+            b.apply(op)
+        assert a.value() == b.value() == ["A", "B"]
+
+    def test_assign_after_merge_collapses(self):
+        a = MVRegister()
+        op1 = a.prepare("assign", "A").with_tag(tag(1, origin="a"))
+        op2 = a.prepare("assign", "B").with_tag(tag(1, origin="b"))
+        a.apply(op1)
+        a.apply(op2)
+        assert len(a.value()) == 2
+        apply_op(a, "assign", "C", counter=9)
+        assert a.value() == ["C"]
+
+    def test_entries_sorted_by_tag(self):
+        r = MVRegister()
+        op_hi = MVRegister().prepare("assign", "hi").with_tag(tag(9))
+        op_lo = MVRegister().prepare("assign", "lo").with_tag(tag(2))
+        r.apply(op_hi)
+        r.apply(op_lo)
+        tags = [t for t, _v in r.entries()]
+        assert tags == sorted(tags)
+
+    def test_clone_and_roundtrip(self):
+        r = MVRegister()
+        apply_op(r, "assign", 42)
+        restored = MVRegister.from_dict(r.to_dict())
+        assert restored.value() == [42]
+        clone = r.clone()
+        apply_op(clone, "assign", 43)
+        assert r.value() == [42]

@@ -1,0 +1,161 @@
+"""RGA sequence CRDT unit tests."""
+
+import pytest
+
+from repro.crdt import CRDTError, RGASequence
+
+from ..conftest import apply_op, tag
+
+
+class TestRGABasics:
+    def test_empty(self):
+        assert RGASequence().value() == []
+        assert len(RGASequence()) == 0
+
+    def test_append(self):
+        s = RGASequence()
+        for ch in "abc":
+            apply_op(s, "append", ch)
+        assert s.value() == ["a", "b", "c"]
+
+    def test_insert_at_head(self):
+        s = RGASequence()
+        apply_op(s, "append", "b")
+        apply_op(s, "insert", 0, "a")
+        assert s.value() == ["a", "b"]
+
+    def test_insert_middle(self):
+        s = RGASequence()
+        apply_op(s, "append", "a")
+        apply_op(s, "append", "c")
+        apply_op(s, "insert", 1, "b")
+        assert s.value() == ["a", "b", "c"]
+
+    def test_delete(self):
+        s = RGASequence()
+        for ch in "abc":
+            apply_op(s, "append", ch)
+        apply_op(s, "delete", 1)
+        assert s.value() == ["a", "c"]
+        assert s.tombstone_count() == 1
+
+    def test_insert_after_deleted_neighbour(self):
+        s = RGASequence()
+        for ch in "abc":
+            apply_op(s, "append", ch)
+        apply_op(s, "delete", 1)      # remove "b"
+        apply_op(s, "insert", 1, "B")  # between "a" and "c"
+        assert s.value() == ["a", "B", "c"]
+
+    def test_insert_out_of_range_rejected(self):
+        with pytest.raises(CRDTError):
+            RGASequence().prepare("insert", 5, "x")
+
+    def test_delete_out_of_range_rejected(self):
+        with pytest.raises(CRDTError):
+            RGASequence().prepare("delete", 0)
+
+
+class TestRGAConcurrency:
+    def _two_replicas(self):
+        a, b = RGASequence(), RGASequence()
+        seed = a.prepare("append", "base").with_tag(tag(1, origin="a"))
+        a.apply(seed)
+        b.apply(seed)
+        return a, b
+
+    def test_concurrent_appends_converge(self):
+        a, b = self._two_replicas()
+        op_a = a.prepare("append", "A").with_tag(tag(2, origin="a"))
+        op_b = b.prepare("append", "B").with_tag(tag(2, origin="b"))
+        a.apply(op_a)
+        a.apply(op_b)
+        b.apply(op_b)
+        b.apply(op_a)
+        assert a.value() == b.value()
+        assert set(a.value()) == {"base", "A", "B"}
+
+    def test_concurrent_inserts_same_anchor_ordered_by_tag(self):
+        a, b = self._two_replicas()
+        op_a = a.prepare("insert", 1, "A").with_tag(tag(2, origin="a"))
+        op_b = b.prepare("insert", 1, "B").with_tag(tag(2, origin="b"))
+        a.apply(op_a)
+        a.apply(op_b)
+        b.apply(op_b)
+        b.apply(op_a)
+        assert a.value() == b.value()
+        # Greater tag sorts first after the anchor: (2,"b") > (2,"a").
+        assert a.value() == ["base", "B", "A"]
+
+    def test_concurrent_delete_and_insert_after_same_element(self):
+        a, b = self._two_replicas()
+        delete = a.prepare("delete", 0).with_tag(tag(2, origin="a"))
+        insert = b.prepare("insert", 1, "X").with_tag(tag(2, origin="b"))
+        a.apply(delete)
+        a.apply(insert)
+        b.apply(insert)
+        b.apply(delete)
+        # The anchor is tombstoned but still orders the insert.
+        assert a.value() == b.value() == ["X"]
+
+    def test_interleaved_runs_stay_contiguous(self):
+        a, b = self._two_replicas()
+        ops_a = []
+        for i, ch in enumerate("123"):
+            op = a.prepare("append", "a" + ch).with_tag(
+                tag(10 + i, origin="a"))
+            a.apply(op)
+            ops_a.append(op)
+        ops_b = []
+        for i, ch in enumerate("123"):
+            op = b.prepare("append", "b" + ch).with_tag(
+                tag(10 + i, origin="b"))
+            b.apply(op)
+            ops_b.append(op)
+        for op in ops_b:
+            a.apply(op)
+        for op in ops_a:
+            b.apply(op)
+        assert a.value() == b.value()
+
+    def test_unknown_anchor_rejected(self):
+        s = RGASequence()
+        foreign = RGASequence()
+        apply_op(foreign, "append", "x", counter=50)
+        op = foreign.prepare("insert", 1, "y").with_tag(tag(51))
+        with pytest.raises(CRDTError):
+            s.apply(op)
+
+    def test_unknown_delete_target_rejected(self):
+        s = RGASequence()
+        foreign = RGASequence()
+        apply_op(foreign, "append", "x", counter=50)
+        op = foreign.prepare("delete", 0).with_tag(tag(51))
+        with pytest.raises(CRDTError):
+            s.apply(op)
+
+
+class TestRGASerialisation:
+    def test_roundtrip_preserves_order_and_tombstones(self):
+        s = RGASequence()
+        for ch in "abcd":
+            apply_op(s, "append", ch)
+        apply_op(s, "delete", 2)
+        restored = RGASequence.from_dict(s.to_dict())
+        assert restored.value() == ["a", "b", "d"]
+        assert restored.tombstone_count() == 1
+
+    def test_restored_replica_accepts_new_ops(self):
+        s = RGASequence()
+        apply_op(s, "append", "a", counter=1)
+        restored = RGASequence.from_dict(s.to_dict())
+        apply_op(restored, "append", "b", counter=2)
+        assert restored.value() == ["a", "b"]
+
+    def test_clone_independent(self):
+        s = RGASequence()
+        apply_op(s, "append", "a")
+        c = s.clone()
+        apply_op(c, "append", "b")
+        assert s.value() == ["a"]
+        assert c.value() == ["a", "b"]

@@ -1,0 +1,181 @@
+"""GSet, ORSet (add-wins) and RWSet (remove-wins) unit tests."""
+
+import pytest
+
+from repro.crdt import CRDTError, GSet, ORSet, RWSet
+
+from ..conftest import apply_op, tag
+
+
+class TestGSet:
+    def test_add(self):
+        s = GSet()
+        apply_op(s, "add", "x")
+        assert s.value() == {"x"}
+        assert s.contains("x")
+
+    def test_add_all(self):
+        s = GSet()
+        apply_op(s, "add_all", [1, 2, 3])
+        assert s.value() == {1, 2, 3}
+
+    def test_duplicate_add_idempotent_by_value(self):
+        s = GSet()
+        apply_op(s, "add", "x")
+        apply_op(s, "add", "x")
+        assert s.value() == {"x"}
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(TypeError):
+            GSet().prepare("add", [1, 2])
+
+    def test_roundtrip(self):
+        s = GSet()
+        apply_op(s, "add_all", ["a", "b"])
+        assert GSet.from_dict(s.to_dict()).value() == {"a", "b"}
+
+    def test_clone(self):
+        s = GSet()
+        apply_op(s, "add", 1)
+        c = s.clone()
+        apply_op(c, "add", 2)
+        assert s.value() == {1}
+
+
+class TestORSet:
+    def test_add_remove(self):
+        s = ORSet()
+        apply_op(s, "add", "x")
+        apply_op(s, "remove", "x")
+        assert s.value() == set()
+
+    def test_remove_unseen_is_noop(self):
+        s = ORSet()
+        apply_op(s, "remove", "ghost")
+        assert s.value() == set()
+
+    def test_add_wins_over_concurrent_remove(self):
+        a, b = ORSet(), ORSet()
+        add1 = a.prepare("add", "x").with_tag(tag(1, origin="a"))
+        a.apply(add1)
+        b.apply(add1)
+        # Concurrently: a removes x (observing add1), b re-adds x.
+        rem = a.prepare("remove", "x").with_tag(tag(2, origin="a"))
+        add2 = b.prepare("add", "x").with_tag(tag(2, origin="b"))
+        a.apply(rem)
+        a.apply(add2)
+        b.apply(add2)
+        b.apply(rem)
+        assert a.value() == b.value() == {"x"}
+
+    def test_remove_only_observed_instances(self):
+        s = ORSet()
+        apply_op(s, "add", "x", counter=1)
+        observed_remove = s.prepare("remove", "x")
+        apply_op(s, "add", "x", counter=2)  # new instance, not observed
+        s.apply(observed_remove.with_tag(tag(3)))
+        assert s.value() == {"x"}
+
+    def test_causal_remove_after_all_adds(self):
+        s = ORSet()
+        apply_op(s, "add", "x", counter=1)
+        apply_op(s, "add", "x", counter=2)
+        apply_op(s, "remove", "x", counter=3)
+        assert s.value() == set()
+
+    def test_add_all_instances_are_distinct(self):
+        s = ORSet()
+        op = s.prepare("add_all", ["a", "b"]).with_tag(tag(1))
+        s.apply(op)
+        apply_op(s, "remove", "a", counter=2)
+        assert s.value() == {"b"}
+
+    def test_clear_removes_observed(self):
+        s = ORSet()
+        apply_op(s, "add_all", ["a", "b", "c"])
+        apply_op(s, "clear")
+        assert s.value() == set()
+
+    def test_clear_spares_concurrent_add(self):
+        a, b = ORSet(), ORSet()
+        add1 = a.prepare("add", "old").with_tag(tag(1, origin="a"))
+        a.apply(add1)
+        b.apply(add1)
+        clear = a.prepare("clear").with_tag(tag(2, origin="a"))
+        add2 = b.prepare("add", "new").with_tag(tag(2, origin="b"))
+        a.apply(clear)
+        a.apply(add2)
+        b.apply(add2)
+        b.apply(clear)
+        assert a.value() == b.value() == {"new"}
+
+    def test_roundtrip(self):
+        s = ORSet()
+        apply_op(s, "add_all", [1, 2])
+        apply_op(s, "remove", 1)
+        restored = ORSet.from_dict(s.to_dict())
+        assert restored.value() == {2}
+
+    def test_clone_independent(self):
+        s = ORSet()
+        apply_op(s, "add", "x")
+        c = s.clone()
+        apply_op(c, "remove", "x")
+        assert s.value() == {"x"}
+        assert c.value() == set()
+
+
+class TestRWSet:
+    def test_add_then_remove(self):
+        s = RWSet()
+        apply_op(s, "add", "x")
+        apply_op(s, "remove", "x")
+        assert s.value() == set()
+
+    def test_remove_then_add(self):
+        s = RWSet()
+        apply_op(s, "remove", "x")
+        apply_op(s, "add", "x")
+        assert s.value() == {"x"}
+
+    def test_remove_wins_over_concurrent_add(self):
+        a, b = RWSet(), RWSet()
+        add1 = a.prepare("add", "x").with_tag(tag(1, origin="a"))
+        a.apply(add1)
+        b.apply(add1)
+        rem = a.prepare("remove", "x").with_tag(tag(2, origin="a"))
+        add2 = b.prepare("add", "x").with_tag(tag(2, origin="b"))
+        a.apply(rem)
+        a.apply(add2)
+        b.apply(add2)
+        b.apply(rem)
+        # Remove observed only add1; add2 is concurrent -> remove wins.
+        assert a.value() == b.value() == set()
+
+    def test_causal_add_after_remove_revives(self):
+        s = RWSet()
+        apply_op(s, "add", "x", counter=1)
+        apply_op(s, "remove", "x", counter=2)
+        apply_op(s, "add", "x", counter=3)
+        assert s.value() == {"x"}
+
+    def test_contains(self):
+        s = RWSet()
+        apply_op(s, "add", 1)
+        assert s.contains(1)
+        assert not s.contains(2)
+
+    def test_roundtrip(self):
+        s = RWSet()
+        apply_op(s, "add", "a")
+        apply_op(s, "remove", "b")
+        restored = RWSet.from_dict(s.to_dict())
+        assert restored.value() == {"a"}
+
+    def test_clone(self):
+        s = RWSet()
+        apply_op(s, "add", "a")
+        c = s.clone()
+        apply_op(c, "remove", "a")
+        assert s.value() == {"a"}
+        assert c.value() == set()

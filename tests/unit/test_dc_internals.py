@@ -1,0 +1,143 @@
+"""DataCenter internals: service queue, anti-entropy, request dedup."""
+
+from repro.core import Dot, ObjectKey, VectorClock
+from repro.dc.messages import (DCSyncPing, RemoteTxnReply,
+                               RemoteTxnRequest)
+from repro.sim import Actor, LatencyModel, Simulation
+
+from ..conftest import build_cluster, build_edge, run_update
+
+KEY = ObjectKey("b", "x")
+INTEREST = ((KEY, "counter"),)
+
+
+class _Probe(Actor):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.replies = []
+
+    def on_message(self, message, sender):
+        self.replies.append((self.now, message))
+
+    def remote(self, dc, request_id, reads=(), updates=()):
+        self.send(dc, RemoteTxnRequest(
+            client_id=self.node_id, request_id=request_id,
+            reads=tuple((k.to_dict(), t) for k, t in reads),
+            updates=tuple((k.to_dict(), t, m, a)
+                          for k, t, m, a in updates)))
+
+
+def world(n_dcs=1, k=1, service_time_ms=None, seed=121):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(5.0))
+    dcs = build_cluster(sim, n_dcs=n_dcs, k_target=k)
+    if service_time_ms is not None:
+        for dc in dcs:
+            dc.service_time_ms = service_time_ms
+    probe = sim.spawn(_Probe, "probe")
+    return sim, dcs, probe
+
+
+class TestServiceQueue:
+    def test_requests_queue_behind_each_other(self):
+        sim, dcs, probe = world(service_time_ms=10.0)
+        for request_id in range(5):
+            probe.remote("dc0", request_id, reads=((KEY, "counter"),))
+        sim.run_for(500)
+        times = [t for t, _m in probe.replies]
+        # Each reply ~10ms after the previous: serialised service.
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= 9.0 for gap in gaps)
+
+    def test_replies_in_request_order(self):
+        sim, dcs, probe = world(service_time_ms=2.0)
+        for request_id in range(5):
+            probe.remote("dc0", request_id, reads=((KEY, "counter"),))
+        sim.run_for(500)
+        ids = [m.request_id for _t, m in probe.replies]
+        assert ids == sorted(ids)
+
+    def test_zero_service_time_disables_queue(self):
+        sim, dcs, probe = world(service_time_ms=0.0)
+        for request_id in range(3):
+            probe.remote("dc0", request_id, reads=((KEY, "counter"),))
+        sim.run_for(500)
+        times = [t for t, _m in probe.replies]
+        assert max(times) - min(times) < 1.0
+
+
+class TestRemoteRequestDedup:
+    def test_retried_update_commits_once(self):
+        sim, dcs, probe = world()
+        updates = ((KEY, "counter", "increment", (5,)),)
+        probe.remote("dc0", 42, updates=updates)
+        sim.run_for(100)
+        probe.remote("dc0", 42, updates=updates)  # retry, same request id
+        sim.run_for(100)
+        assert dcs[0].committed_count == 1
+        assert len(probe.replies) == 2
+        entries = [m.commit_entries for _t, m in probe.replies]
+        assert entries[0] == entries[1]  # identical stamp reported
+
+    def test_distinct_requests_commit_separately(self):
+        sim, dcs, probe = world()
+        for request_id in (1, 2):
+            probe.remote("dc0", request_id,
+                         updates=((KEY, "counter", "increment", (1,)),))
+        sim.run_for(200)
+        assert dcs[0].committed_count == 2
+
+
+class TestAntiEntropy:
+    def test_sync_ping_triggers_resend(self):
+        sim, dcs, probe = world(n_dcs=2)
+        edge = build_edge(sim, "e", dc_id="dc0", interest=INTEREST)
+        sim.run_for(200)
+        sim.network.partition("dc0", "dc1")
+        for _ in range(3):
+            run_update(edge, KEY, "counter", "increment", 1)
+        sim.run_for(500)
+        assert dcs[1].state_vector["dc0"] == 0
+        sim.network.heal("dc0", "dc1")
+        # The next ping advertises dc1's stale vector; dc0 resends.
+        sim.run_for(3000)
+        assert dcs[1].state_vector["dc0"] == 3
+
+    def test_sync_batch_bounded_per_ping(self):
+        sim, dcs, probe = world(n_dcs=2)
+        dcs[0].SYNC_BATCH = 2  # tiny batches for the test
+        edge = build_edge(sim, "e", dc_id="dc0", interest=INTEREST)
+        sim.run_for(200)
+        sim.network.partition("dc0", "dc1")
+        for _ in range(5):
+            run_update(edge, KEY, "counter", "increment", 1)
+        sim.run_for(500)
+        sim.network.heal("dc0", "dc1")
+        sim.run_for(10_000)  # several ping rounds drain the backlog
+        assert dcs[1].state_vector["dc0"] == 5
+
+    def test_ping_with_up_to_date_peer_sends_nothing(self):
+        sim, dcs, probe = world(n_dcs=2)
+        sim.run_for(100)
+        sent_before = sim.network.stats.messages_sent
+        dcs[0]._on_sync_ping(
+            DCSyncPing(dcs[0].state_vector.to_dict()), "dc1")
+        assert sim.network.stats.messages_sent == sent_before
+
+
+class TestStabilityBookkeeping:
+    def test_stable_dots_recorded(self):
+        sim, dcs, probe = world()
+        edge = build_edge(sim, "e", dc_id="dc0", interest=INTEREST)
+        sim.run_for(200)
+        run_update(edge, KEY, "counter", "increment", 1)
+        dot = next(iter(edge.unacked))
+        sim.run_for(200)
+        assert dot in dcs[0]._stable_dots
+
+    def test_pushed_cursor_tracks_stable(self):
+        sim, dcs, probe = world()
+        edge = build_edge(sim, "e", dc_id="dc0", interest=INTEREST)
+        sim.run_for(200)
+        run_update(edge, KEY, "counter", "increment", 1)
+        sim.run_for(200)
+        assert dcs[0]._pushed_stable == dcs[0].stable_vector

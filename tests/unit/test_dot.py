@@ -1,0 +1,85 @@
+"""Dot and DotTracker unit tests (duplicate suppression, section 3.8)."""
+
+from repro.core import Dot, DotTracker
+
+
+class TestDot:
+    def test_ordering_by_counter_then_origin(self):
+        assert Dot(1, "b") < Dot(2, "a")
+        assert Dot(2, "a") < Dot(2, "b")
+
+    def test_equality_and_hash(self):
+        assert Dot(3, "x") == Dot(3, "x")
+        assert len({Dot(3, "x"), Dot(3, "x")}) == 1
+
+    def test_dict_roundtrip(self):
+        d = Dot(7, "edge-1")
+        assert Dot.from_dict(d.to_dict()) == d
+
+    def test_repr(self):
+        assert repr(Dot(4, "n")) == "n@4"
+
+
+class TestDotTracker:
+    def test_fresh_dot_unseen(self):
+        t = DotTracker()
+        assert not t.seen(Dot(1, "a"))
+
+    def test_observe_then_seen(self):
+        t = DotTracker()
+        assert t.observe(Dot(1, "a"))
+        assert t.seen(Dot(1, "a"))
+
+    def test_duplicate_observe_returns_false(self):
+        t = DotTracker()
+        t.observe(Dot(1, "a"))
+        assert not t.observe(Dot(1, "a"))
+
+    def test_watermark_advances_contiguously(self):
+        t = DotTracker()
+        for i in (1, 2, 3):
+            t.observe(Dot(i, "a"))
+        assert t.watermark("a") == 3
+
+    def test_gap_keeps_pending(self):
+        t = DotTracker()
+        t.observe(Dot(1, "a"))
+        t.observe(Dot(3, "a"))
+        assert t.watermark("a") == 1
+        assert t.seen(Dot(3, "a"))
+        assert not t.seen(Dot(2, "a"))
+
+    def test_gap_closes(self):
+        t = DotTracker()
+        t.observe(Dot(1, "a"))
+        t.observe(Dot(3, "a"))
+        t.observe(Dot(2, "a"))
+        assert t.watermark("a") == 3
+
+    def test_below_watermark_is_duplicate(self):
+        t = DotTracker()
+        for i in (1, 2, 3):
+            t.observe(Dot(i, "a"))
+        assert t.seen(Dot(2, "a"))
+        assert not t.observe(Dot(1, "a"))
+
+    def test_origins_independent(self):
+        t = DotTracker()
+        t.observe(Dot(1, "a"))
+        assert not t.seen(Dot(1, "b"))
+        t.observe(Dot(1, "b"))
+        assert t.watermark("a") == 1
+        assert t.watermark("b") == 1
+
+    def test_observed_dots_expands_watermark(self):
+        t = DotTracker()
+        for i in (1, 2):
+            t.observe(Dot(i, "a"))
+        t.observe(Dot(5, "b"))
+        assert t.observed_dots() == {Dot(1, "a"), Dot(2, "a"), Dot(5, "b")}
+
+    def test_merge(self):
+        t = DotTracker()
+        t.merge([Dot(1, "a"), Dot(2, "a"), Dot(1, "b")])
+        assert t.watermark("a") == 2
+        assert t.seen(Dot(1, "b"))

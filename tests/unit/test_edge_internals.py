@@ -1,0 +1,151 @@
+"""EdgeNode internals: warm cache, materialisation cache, key cuts."""
+
+from repro.core import ObjectKey, VectorClock
+from repro.sim import LatencyModel, Simulation
+
+from ..conftest import build_cluster, build_edge, run_update
+
+KEY = ObjectKey("b", "x")
+INTEREST = ((KEY, "counter"),)
+
+
+def world(seed=131, **edge_kwargs):
+    sim = Simulation(seed=seed, default_latency=LatencyModel(10.0))
+    dcs = build_cluster(sim, n_dcs=1, k_target=1)
+    from repro.edge import EdgeNode
+    node = sim.spawn(EdgeNode, "e", dc_id="dc0", **edge_kwargs)
+    node.declare_interest(KEY, "counter")
+    node.connect()
+    sim.run_for(200)
+    return sim, dcs, node
+
+
+class TestWarmth:
+    def test_seeded_key_is_warm(self):
+        sim, dcs, node = world()
+        assert KEY in node._warm
+
+    def test_declared_but_unseeded_key_is_cold(self):
+        sim, dcs, node = world()
+        cold = ObjectKey("b", "cold")
+        node._declare_interest_local(cold, "counter")
+        assert cold not in node._warm
+
+    def test_eviction_clears_warmth_and_cut(self):
+        sim, dcs, node = world()
+        node.cache.capacity = 1
+        other = ObjectKey("b", "other")
+        node.declare_interest(other, "counter")  # evicts KEY (LRU)
+        assert KEY not in node._warm
+        assert KEY not in node._key_cut
+        assert KEY not in node._interest_types
+
+    def test_read_value_none_for_unknown_key(self):
+        sim, dcs, node = world()
+        assert node.read_value(ObjectKey("b", "nope"), "counter") is None
+
+
+class TestMaterialisationCache:
+    def test_repeated_reads_hit_cache(self):
+        sim, dcs, node = world()
+        node.read_value(KEY, "counter")
+        hits_before = node.cache.stats.hits
+        node.read_value(KEY, "counter")
+        assert node.cache.stats.hits == hits_before + 1
+
+    def test_cache_invalidated_by_new_entry(self):
+        sim, dcs, node = world()
+        assert node.read_value(KEY, "counter") == 0
+        run_update(node, KEY, "counter", "increment", 5)
+        assert node.read_value(KEY, "counter") == 5
+
+    def test_cache_invalidated_by_vector_advance(self):
+        sim, dcs, node = world()
+        other = build_edge(sim, "o", interest=INTEREST)
+        sim.run_for(200)
+        assert node.read_value(KEY, "counter") == 0
+        run_update(other, KEY, "counter", "increment", 2)
+        sim.run_for(2000)
+        assert node.read_value(KEY, "counter") == 2
+
+    def test_cached_state_not_mutated_by_write_txn(self):
+        # Copy-on-write: the buffered update must not leak into the
+        # shared materialisation cache before commit.
+        sim, dcs, node = world()
+        node.read_value(KEY, "counter")
+        observed = []
+
+        def body(tx):
+            yield tx.update(KEY, "counter", "increment", 1)
+            value = yield tx.read(KEY, "counter")
+            observed.append(value)
+            # Mid-transaction, the cache still shows the old value.
+            observed.append(node.read_value(KEY, "counter"))
+
+        node.run_transaction(body)
+        assert observed[0] == 1
+        assert observed[1] == 0
+
+
+class TestSnapshotAndCuts:
+    def test_snapshot_includes_uncovered_own_txns(self):
+        sim, dcs, node = world()
+        run_update(node, KEY, "counter", "increment", 1)
+        snapshot = node.current_snapshot()
+        assert len(snapshot.local_deps) == 1
+
+    def test_uncovered_drains_after_ack_and_push(self):
+        sim, dcs, node = world()
+        run_update(node, KEY, "counter", "increment", 1)
+        sim.run_for(2000)
+        assert not node._uncovered
+        snapshot = node.current_snapshot()
+        assert not snapshot.local_deps
+        assert snapshot.vector["dc0"] == 1
+
+    def test_key_cut_recorded_on_seed(self):
+        sim, dcs, node = world()
+        assert KEY in node._key_cut
+
+    def test_compaction_folds_covered_entries(self):
+        sim, dcs, node = world()
+        other = build_edge(sim, "o", interest=INTEREST)
+        sim.run_for(200)
+        for _ in range(5):
+            run_update(other, KEY, "counter", "increment", 1)
+        # Trigger many vector advances so the periodic fold fires.
+        for _ in range(40):
+            node._advance_vector(node.vector)
+        sim.run_for(3000)
+        for _ in range(40):
+            node._advance_vector(node.vector)
+        journal = node.cache.store.journal(KEY)
+        assert journal.journal_length == 0   # all folded into the base
+        assert node.read_value(KEY, "counter") == 5
+
+
+class TestSubscriptions:
+    def test_local_commit_notifies(self):
+        sim, dcs, node = world()
+        fired = []
+        node.subscribe(KEY, fired.append)
+        run_update(node, KEY, "counter", "increment", 1)
+        assert fired == [KEY]
+
+    def test_uninterested_key_not_notified(self):
+        sim, dcs, node = world()
+        fired = []
+        node.subscribe(ObjectKey("b", "other"), fired.append)
+        run_update(node, KEY, "counter", "increment", 1)
+        assert fired == []
+
+
+class TestWritebackFlag:
+    def test_writeback_defers_shipping(self):
+        sim, dcs, node = world(writeback_ms=300.0)
+        run_update(node, KEY, "counter", "increment", 1)
+        sim.run_for(100)
+        assert dcs[0].committed_count == 0   # still buffered
+        sim.run_for(1000)
+        assert dcs[0].committed_count == 1   # flushed by the timer
+        assert not node.unacked

@@ -1,0 +1,80 @@
+"""SessionManager (cloud authentication + group signalling) tests."""
+
+from repro.edge import (AuthReply, Authenticate, GroupInfo, GroupLookup,
+                        SessionManager)
+from repro.sim import Actor, LatencyModel, Simulation
+
+
+class _Probe(Actor):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.replies = []
+
+    def on_message(self, message, sender):
+        self.replies.append(message)
+
+
+def world(accounts=None):
+    sim = Simulation(seed=1, default_latency=LatencyModel(2.0))
+    manager = sim.spawn(SessionManager, "session-mgr", accounts=accounts)
+    probe = sim.spawn(_Probe, "client")
+    return sim, manager, probe
+
+
+class TestAuthentication:
+    def test_open_mode_accepts_anyone(self):
+        sim, manager, probe = world(accounts=None)
+        probe.send("session-mgr", Authenticate("alice", "whatever"))
+        sim.run()
+        assert probe.replies[0].ok
+        assert probe.replies[0].token == "token/alice"
+
+    def test_good_credentials(self):
+        sim, manager, probe = world(accounts={"alice": "s3cret"})
+        probe.send("session-mgr", Authenticate("alice", "s3cret"))
+        sim.run()
+        assert probe.replies[0].ok
+
+    def test_bad_credentials(self):
+        sim, manager, probe = world(accounts={"alice": "s3cret"})
+        probe.send("session-mgr", Authenticate("alice", "wrong"))
+        sim.run()
+        reply = probe.replies[0]
+        assert not reply.ok
+        assert reply.reason == "bad-credentials"
+        assert reply.token is None
+
+    def test_unknown_user_rejected(self):
+        sim, manager, probe = world(accounts={"alice": "s3cret"})
+        probe.send("session-mgr", Authenticate("mallory", "s3cret"))
+        sim.run()
+        assert not probe.replies[0].ok
+
+
+class TestGroupDirectory:
+    def test_registered_group_lookup(self):
+        sim, manager, probe = world()
+        manager.register_group("office", parent="m0",
+                               members=("m0", "m1"))
+        probe.send("session-mgr", GroupLookup("client", "office"))
+        sim.run()
+        info = probe.replies[0]
+        assert isinstance(info, GroupInfo)
+        assert info.parent == "m0"
+        assert info.members == ("m0", "m1")
+        assert info.session_key_id == "group/office"
+
+    def test_unknown_group_returns_empty_info(self):
+        sim, manager, probe = world()
+        probe.send("session-mgr", GroupLookup("client", "nowhere"))
+        sim.run()
+        info = probe.replies[0]
+        assert info.parent is None
+        assert info.members == ()
+
+    def test_group_key_is_stable(self):
+        sim, manager, probe = world()
+        manager.register_group("g", parent="p")
+        key1 = manager.keys.issue("group/g")
+        key2 = manager.keys.issue("group/g")
+        assert key1.secret == key2.secret

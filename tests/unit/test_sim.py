@@ -1,0 +1,207 @@
+"""Simulation substrate tests: event loop, network, actors."""
+
+import pytest
+
+from repro.sim import (Actor, EventLoop, LatencyModel, Network,
+                       Simulation)
+
+
+class TestEventLoop:
+    def test_schedule_and_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [5.0]
+
+    def test_ordering_by_time(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(10.0, lambda: order.append("late"))
+        loop.schedule(1.0, lambda: order.append("early"))
+        loop.run()
+        assert order == ["early", "late"]
+
+    def test_fifo_tie_break(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("first"))
+        loop.schedule(1.0, lambda: order.append("second"))
+        loop.run()
+        assert order == ["first", "second"]
+
+    def test_run_until_stops_clock(self):
+        loop = EventLoop()
+        loop.schedule(100.0, lambda: None)
+        loop.run(until=50.0)
+        assert loop.now == 50.0
+        assert loop.pending() == 1
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            loop.schedule(1.0, lambda: fired.append("chained"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert fired == ["chained"]
+        assert loop.now == 2.0
+
+    def test_max_events_budget(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule(float(i), lambda: None)
+        loop.run(max_events=3)
+        assert loop.processed_events == 3
+
+
+class _Echo(Actor):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.received = []
+
+    def on_message(self, message, sender):
+        self.received.append((message, sender, self.now))
+
+
+class TestNetwork:
+    def _world(self, latency=10.0):
+        sim = Simulation(seed=1, default_latency=LatencyModel(latency))
+        a = sim.spawn(_Echo, "a")
+        b = sim.spawn(_Echo, "b")
+        return sim, a, b
+
+    def test_delivery_with_latency(self):
+        sim, a, b = self._world()
+        a.send("b", "hi")
+        sim.run()
+        assert b.received[0][:2] == ("hi", "a")
+        assert b.received[0][2] == pytest.approx(10.0)
+
+    def test_fifo_per_link(self):
+        sim, a, b = self._world()
+        # Jittered latencies could reorder; FIFO must hold anyway.
+        sim.network.set_link("a", "b", LatencyModel(5.0, 10.0))
+        for i in range(20):
+            a.send("b", i)
+        sim.run()
+        assert [m for m, _s, _t in b.received] == list(range(20))
+
+    def test_partition_drops(self):
+        sim, a, b = self._world()
+        sim.network.partition("a", "b")
+        assert not a.send("b", "lost")
+        sim.run()
+        assert b.received == []
+        assert sim.network.stats.messages_dropped == 1
+
+    def test_heal_restores(self):
+        sim, a, b = self._world()
+        sim.network.partition("a", "b")
+        sim.network.heal("a", "b")
+        a.send("b", "back")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partition_mid_flight_kills_message(self):
+        sim, a, b = self._world()
+        a.send("b", "doomed")
+        sim.loop.schedule(1.0, lambda: sim.network.partition("a", "b"))
+        sim.run()
+        assert b.received == []
+
+    def test_isolate_node(self):
+        sim, a, b = self._world()
+        sim.network.isolate("b")
+        assert not a.send("b", "x")
+        sim.network.restore("b")
+        assert a.send("b", "y")
+
+    def test_loss_rate(self):
+        sim, a, b = self._world()
+        sim.network.set_loss_rate("a", "b", 1.0)
+        a.send("b", "x")
+        sim.run()
+        assert b.received == []
+
+    def test_crashed_actor_ignores_messages(self):
+        sim, a, b = self._world()
+        b.crash()
+        a.send("b", "x")
+        sim.run()
+        assert b.received == []
+
+    def test_stats_counters(self):
+        sim, a, b = self._world()
+        a.send("b", "x", size_bytes=128)
+        sim.run()
+        assert sim.network.stats.messages_sent == 1
+        assert sim.network.stats.messages_delivered == 1
+        assert sim.network.stats.bytes_sent == 128
+
+
+class TestActorTimers:
+    def test_set_timer(self):
+        sim = Simulation(seed=1)
+        actor = sim.spawn(_Echo, "a")
+        fired = []
+        actor.set_timer(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_timer_skipped_after_crash(self):
+        sim = Simulation(seed=1)
+        actor = sim.spawn(_Echo, "a")
+        fired = []
+        actor.set_timer(5.0, lambda: fired.append(1))
+        actor.crash()
+        sim.run()
+        assert fired == []
+
+    def test_periodic_until_crash(self):
+        sim = Simulation(seed=1)
+        actor = sim.spawn(_Echo, "a")
+        fired = []
+        actor.every(10.0, lambda: fired.append(sim.now))
+        sim.run(until=35.0)
+        assert fired == [10.0, 20.0, 30.0]
+        actor.crash()
+        sim.run(until=100.0)
+        assert len(fired) == 3
+
+
+class TestSimulationDeterminism:
+    def _trace(self, seed):
+        sim = Simulation(seed=seed, default_latency=LatencyModel(3.0, 4.0))
+        a = sim.spawn(_Echo, "a")
+        b = sim.spawn(_Echo, "b")
+        for i in range(10):
+            sim.loop.schedule(float(i), lambda i=i: a.send("b", i))
+        sim.run()
+        return [(m, t) for m, _s, t in b.received]
+
+    def test_same_seed_same_trace(self):
+        assert self._trace(42) == self._trace(42)
+
+    def test_different_seed_different_jitter(self):
+        assert self._trace(1) != self._trace(2)
+
+    def test_duplicate_actor_id_rejected(self):
+        sim = Simulation(seed=1)
+        sim.spawn(_Echo, "a")
+        with pytest.raises(ValueError):
+            sim.spawn(_Echo, "a")

@@ -1,0 +1,144 @@
+"""Visibility layer tests: frontier, admission, K-stability (§3.8, §4)."""
+
+import pytest
+
+from repro.core import (CausalityViolation, CommitStamp, Dot,
+                        KStabilityTracker, ObjectKey, Snapshot,
+                        Transaction, VectorClock, VisibleState, WriteOp,
+                        admissible, admit_ready)
+from repro.crdt import Counter
+
+
+def txn(counter, origin="e", snapshot_vector=None, local_deps=(),
+        entries=None):
+    op = Counter().prepare("increment", 1)
+    return Transaction(
+        dot=Dot(counter, origin), origin=origin,
+        snapshot=Snapshot(VectorClock(snapshot_vector or {}), local_deps),
+        commit=CommitStamp(entries),
+        writes=[WriteOp(ObjectKey("b", "x"), op)])
+
+
+class TestVisibleState:
+    def test_admit_advances_vector(self):
+        state = VisibleState()
+        state.admit(txn(1, entries={"dc0": 1}))
+        assert state.vector["dc0"] == 1
+
+    def test_admit_symbolic_tracked_by_dot(self):
+        state = VisibleState()
+        t = txn(1)
+        state.admit(t)
+        assert state.includes(t)
+        assert state.includes_dot(t.dot)
+        assert state.vector == VectorClock.zero()
+
+    def test_admit_duplicate_returns_false(self):
+        state = VisibleState()
+        t = txn(1, entries={"dc0": 1})
+        assert state.admit(t)
+        assert not state.admit(t)
+
+    def test_admit_with_missing_deps_raises(self):
+        state = VisibleState()
+        with pytest.raises(CausalityViolation):
+            state.admit(txn(1, snapshot_vector={"dc0": 5}))
+
+    def test_dependencies_met_via_local_dep(self):
+        state = VisibleState()
+        t1 = txn(1)
+        state.admit(t1)
+        t2 = txn(2, local_deps=[t1.dot])
+        assert state.dependencies_met(t2)
+
+    def test_resolve_commit_merges_vector(self):
+        state = VisibleState()
+        t = txn(1)
+        state.admit(t)
+        t.commit.add_entry("dc0", 4)
+        state.resolve_commit(t)
+        assert state.vector["dc0"] == 4
+
+    def test_entry_filter_matches_admitted(self):
+        state = VisibleState()
+        t1 = txn(1, entries={"dc0": 1})
+        state.admit(t1)
+
+        class FakeEntry:
+            def __init__(self, t):
+                self.dot = t.dot
+                self.txn = t
+
+        assert state.entry_filter()(FakeEntry(t1))
+        assert not state.entry_filter()(FakeEntry(txn(9, origin="z")))
+
+    def test_rollback_freedom_vector_monotonic(self):
+        state = VisibleState()
+        state.advance_vector(VectorClock({"dc0": 5}))
+        state.advance_vector(VectorClock({"dc0": 3, "dc1": 1}))
+        assert state.vector.to_dict() == {"dc0": 5, "dc1": 1}
+
+
+class TestAdmission:
+    def test_admissible_runs_extra_checks(self):
+        state = VisibleState()
+        t = txn(1)
+        assert admissible(t, state, [lambda _t: True])
+        assert not admissible(t, state, [lambda _t: False])
+
+    def test_admit_ready_resolves_chains(self):
+        state = VisibleState()
+        t1 = txn(1, entries={"dc0": 1})
+        t2 = txn(2, snapshot_vector={"dc0": 1}, entries={"dc0": 2})
+        pending = [t2, t1]  # out of order on purpose
+        admitted = admit_ready(pending, state)
+        assert [a.dot for a in admitted] == [t1.dot, t2.dot]
+        assert pending == []
+
+    def test_admit_ready_leaves_blocked(self):
+        state = VisibleState()
+        blocked = txn(2, snapshot_vector={"dc0": 99})
+        pending = [blocked]
+        admitted = admit_ready(pending, state)
+        assert admitted == []
+        assert pending == [blocked]
+
+    def test_admit_ready_respects_gates(self):
+        state = VisibleState()
+        t1 = txn(1, entries={"dc0": 1})
+        pending = [t1]
+        admitted = admit_ready(pending, state, [lambda t: False])
+        assert admitted == [] and pending == [t1]
+
+
+class TestKStability:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KStabilityTracker(0)
+
+    def test_count_and_stability(self):
+        tracker = KStabilityTracker(2)
+        d = Dot(1, "e")
+        assert tracker.record(d, {"dc0"}) == 1
+        assert not tracker.is_stable(d)
+        assert tracker.record(d, {"dc1"}) == 2
+        assert tracker.is_stable(d)
+
+    def test_record_unions(self):
+        tracker = KStabilityTracker(3)
+        d = Dot(1, "e")
+        tracker.record(d, {"dc0", "dc1"})
+        tracker.record(d, {"dc1", "dc2"})
+        assert tracker.holders(d) == {"dc0", "dc1", "dc2"}
+
+    def test_stable_dots(self):
+        tracker = KStabilityTracker(1)
+        tracker.record(Dot(1, "e"), {"dc0"})
+        assert tracker.stable_dots() == {Dot(1, "e")}
+
+    def test_forget(self):
+        tracker = KStabilityTracker(1)
+        d = Dot(1, "e")
+        tracker.record(d, {"dc0"})
+        tracker.forget(d)
+        assert tracker.count(d) == 0

@@ -1,0 +1,112 @@
+"""Workload generator tests: the trace matches the paper's statistics."""
+
+import random
+
+from repro.workload import MattermostTrace, TraceConfig
+
+
+def small_config(**overrides):
+    base = dict(n_users=200, n_workspaces=3, channels_per_workspace=20,
+                big_workspace_users=100, events_total=2000,
+                duration_ms=10_000.0, seed=5)
+    base.update(overrides)
+    return TraceConfig(**base)
+
+
+class TestTopology:
+    def test_user_and_workspace_counts(self):
+        trace = MattermostTrace(small_config())
+        assert len(trace.users) == 200
+        assert len(trace.workspaces) == 3
+
+    def test_bot_fraction(self):
+        trace = MattermostTrace(small_config())
+        assert len(trace.bots) == 20  # 10% of 200
+
+    def test_big_workspace_membership(self):
+        trace = MattermostTrace(small_config())
+        big = trace.workspaces[0]
+        members = [u for u in trace.users
+                   if big in trace.user_workspaces[u]]
+        assert len(members) == 100
+
+    def test_every_user_has_a_workspace(self):
+        trace = MattermostTrace(small_config())
+        assert all(trace.user_workspaces[u] for u in trace.users)
+
+    def test_channels_average_near_twenty(self):
+        trace = MattermostTrace(small_config())
+        counts = [len(chs) for chs in trace.channels.values()]
+        assert 10 <= sum(counts) / len(counts) <= 30
+
+    def test_deterministic_from_seed(self):
+        t1 = MattermostTrace(small_config())
+        t2 = MattermostTrace(small_config())
+        assert t1.user_workspaces == t2.user_workspaces
+        assert [e.user for e in t1.generate()] \
+            == [e.user for e in t2.generate()]
+
+
+class TestActivitySkew:
+    def test_pareto_top20_does_most_work(self):
+        trace = MattermostTrace(small_config())
+        share = trace.activity_share(0.2)
+        # The paper's 80/20: tolerate the finite-population deviation.
+        assert share > 0.6
+
+    def test_sampling_matches_weights(self):
+        trace = MattermostTrace(small_config())
+        rng = random.Random(1)
+        counts = {}
+        for _ in range(5000):
+            user = trace.sample_user(rng)
+            counts[user] = counts.get(user, 0) + 1
+        top = max(counts, key=counts.get)
+        assert top == trace.users[0]  # rank-0 user is the most active
+
+
+class TestActions:
+    def test_read_write_ratio(self):
+        trace = MattermostTrace(small_config())
+        events = trace.generate()
+        reads = sum(1 for e in events if e.action == "read_channel")
+        # >= 90% reads (refresh every 5th txn also reads).
+        assert reads / len(events) >= 0.85
+
+    def test_refresh_every_fifth_txn_reads(self):
+        trace = MattermostTrace(small_config())
+        event = trace.sample_action("user0", txn_index=5)
+        assert event.action == "read_channel"
+
+    def test_actions_target_member_workspaces(self):
+        trace = MattermostTrace(small_config())
+        for event in trace.generate()[:200]:
+            assert event.workspace in trace.user_workspaces[event.user]
+            assert event.channel in trace.channels[event.workspace]
+
+    def test_posts_have_text(self):
+        trace = MattermostTrace(small_config())
+        posts = [e for e in trace.generate()
+                 if e.action == "post_message"]
+        assert posts and all(p.text for p in posts)
+
+
+class TestTiming:
+    def test_events_sorted_and_bounded(self):
+        trace = MattermostTrace(small_config())
+        events = trace.generate()
+        times = [e.at_ms for e in events]
+        assert times == sorted(times)
+        assert times[-1] < trace.config.duration_ms
+
+    def test_diurnal_rate_oscillates(self):
+        trace = MattermostTrace(small_config())
+        day = trace.config.duration_ms / trace.config.trace_days
+        peak = trace.diurnal_rate(day / 4)
+        trough = trace.diurnal_rate(3 * day / 4)
+        assert peak > 1.0 > trough
+
+    def test_event_volume_near_target(self):
+        trace = MattermostTrace(small_config())
+        events = trace.generate()
+        assert len(events) >= trace.config.events_total * 0.8
