@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import itertools
 from bisect import insort
-from typing import Any, Callable, Dict, List, Optional, Set
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, List,
+                    Optional, Set)
 
 from ..crdt.base import OpBasedCRDT, Operation, new_crdt, state_from_dict
 from .dot import Dot
@@ -58,12 +59,17 @@ class ObjectJournal:
         self.type_name = type_name
         self._base: OpBasedCRDT = new_crdt(type_name)
         self._base_dots: Set[Dot] = set()
+        self._base_dots_view: Optional[FrozenSet[Dot]] = None
         self._entries: List[JournalEntry] = []  # kept sorted by dot
         self._index: Dict[Dot, JournalEntry] = {}
         #: Bumped on every append/compaction; readers use it to cache
         #: materialised versions.  ``uid`` distinguishes journal
         #: incarnations after a drop/reinstall.
         self.version = 0
+        #: Bumped only when the base version advances (compaction or a
+        #: snapshot install): a cached materialisation survives appends
+        #: but must re-check its applied set against the new base.
+        self.base_version = 0
         self.uid = next(_JOURNAL_UIDS)
 
     # -- writes ---------------------------------------------------------------
@@ -119,16 +125,21 @@ class ObjectJournal:
         an earlier-dot entry stays journalled would re-order application.
         Returns the number of entries folded.
         """
+        entries = self._entries
         folded = 0
-        while self._entries and stable(self._entries[0]):
-            entry = self._entries.pop(0)
+        while folded < len(entries) and stable(entries[folded]):
+            folded += 1
+        if not folded:
+            return 0
+        for entry in entries[:folded]:
             del self._index[entry.dot]
             for op in entry.ops:
                 self._base.apply(op)
             self._base_dots.add(entry.dot)
-            folded += 1
-        if folded:
-            self.version += 1
+        self._entries = entries[folded:]
+        self._base_dots_view = None
+        self.version += 1
+        self.base_version += 1
         return folded
 
     @property
@@ -136,12 +147,18 @@ class ObjectJournal:
         return len(self._entries)
 
     @property
-    def base_dots(self) -> Set[Dot]:
-        """Dots already folded into the base version."""
-        return set(self._base_dots)
+    def base_dots(self) -> FrozenSet[Dot]:
+        """Dots already folded into the base version (read-only view)."""
+        if self._base_dots_view is None:
+            self._base_dots_view = frozenset(self._base_dots)
+        return self._base_dots_view
 
     def entries(self) -> List[JournalEntry]:
         return list(self._entries)
+
+    def iter_entries(self) -> Iterable[JournalEntry]:
+        """The live entry list, sorted by dot.  Callers must not mutate."""
+        return self._entries
 
     # -- (de)serialisation ------------------------------------------------------------
     def snapshot_state(self) -> Dict[str, Any]:

@@ -17,7 +17,8 @@ monotonic, which yields rollback-freedom.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Set
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional,
+                    Set, Tuple)
 
 from .clock import VectorClock
 from .dot import Dot
@@ -35,7 +36,14 @@ class VisibleState:
     def __init__(self, vector: Optional[VectorClock] = None):
         self.vector = vector or VectorClock.zero()
         self._dots: Set[Dot] = set()
+        self._dots_view: Optional[FrozenSet[Dot]] = None
         self._txns: Dict[Dot, Transaction] = {}
+        #: Monotonic counter bumped whenever the frontier grows (an
+        #: admission, a resolved commit, externally learned progress).
+        #: Readers compare fingerprints instead of re-evaluating
+        #: per-entry visibility callbacks; equal fingerprints guarantee
+        #: an identical visible set.
+        self.fingerprint = 0
 
     # -- queries -----------------------------------------------------------
     def includes_dot(self, dot: Dot) -> bool:
@@ -74,21 +82,29 @@ class VisibleState:
                 f"{txn.dot}: snapshot {txn.snapshot} not covered by"
                 f" frontier {self.vector}")
         self._dots.add(txn.dot)
+        self._dots_view = None
         self._txns[txn.dot] = txn
         if not txn.commit.is_symbolic:
             self.vector = self.vector.merge(
                 txn.commit.as_vector(txn.snapshot.vector))
+        self.fingerprint += 1
         return True
 
     def resolve_commit(self, txn: Transaction) -> None:
         """A previously symbolic commit got its concrete stamp: merge it."""
         if txn.dot in self._dots and not txn.commit.is_symbolic:
-            self.vector = self.vector.merge(
+            merged = self.vector.merge(
                 txn.commit.as_vector(txn.snapshot.vector))
+            if merged != self.vector:
+                self.vector = merged
+            self.fingerprint += 1
 
     def advance_vector(self, vector: VectorClock) -> None:
         """Merge externally learned progress (e.g. the connected DC's)."""
-        self.vector = self.vector.merge(vector)
+        merged = self.vector.merge(vector)
+        if merged != self.vector:
+            self.vector = merged
+            self.fingerprint += 1
 
     # -- journal filtering -----------------------------------------------------
     def entry_filter(self) -> Callable[[JournalEntry], bool]:
@@ -98,9 +114,20 @@ class VisibleState:
                     or entry.txn.commit.included_in(self.vector))
         return visible
 
+    def read_token(self) -> Tuple[str, int, int]:
+        """Hashable frontier descriptor for materialisation caches.
+
+        Two equal tokens from the same ``VisibleState`` guarantee the
+        same visible set, without evaluating any per-entry callback.
+        """
+        return ("vs", id(self), self.fingerprint)
+
     @property
-    def dots(self) -> Set[Dot]:
-        return set(self._dots)
+    def dots(self) -> FrozenSet[Dot]:
+        """Admitted dots (read-only view; rebuilt only after admission)."""
+        if self._dots_view is None:
+            self._dots_view = frozenset(self._dots)
+        return self._dots_view
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VisibleState({self.vector}, dots={len(self._dots)})"
@@ -119,28 +146,45 @@ def admissible(txn: Transaction, state: VisibleState,
 
 
 def admit_ready(pending: List[Transaction], state: VisibleState,
-                checks: Iterable[AdmissionCheck] = ()) -> List[Transaction]:
+                checks: Iterable[AdmissionCheck] = (),
+                failed_at: Optional[Dict[Dot, int]] = None) \
+        -> List[Transaction]:
     """Admit every pending transaction whose gates pass, to fixpoint.
 
     Admitting one transaction can unlock another (its causal child), so we
     iterate until no progress.  Returns the transactions admitted, in
     admission order; ``pending`` is left holding the rest.
+
+    A transaction that failed admission is not re-tested until the
+    frontier fingerprint moves past the value at which it failed — the
+    fixpoint rescans then cost a dict lookup per still-blocked
+    transaction instead of a full dependency check.  Pass ``failed_at``
+    (a dot -> fingerprint map, mutated in place) to carry that memo
+    across calls; by default it lives only within one call.
     """
     admitted: List[Transaction] = []
     checks = tuple(checks)
+    if failed_at is None:
+        failed_at = {}
     progress = True
     while progress:
         progress = False
         remaining: List[Transaction] = []
         for txn in pending:
             if state.includes(txn):
+                failed_at.pop(txn.dot, None)
                 progress = True
+                continue
+            if failed_at.get(txn.dot) == state.fingerprint:
+                remaining.append(txn)
                 continue
             if admissible(txn, state, checks):
                 state.admit(txn)
+                failed_at.pop(txn.dot, None)
                 admitted.append(txn)
                 progress = True
             else:
+                failed_at[txn.dot] = state.fingerprint
                 remaining.append(txn)
         pending[:] = remaining
     return admitted

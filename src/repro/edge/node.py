@@ -140,9 +140,6 @@ class EdgeNode(Actor):
         self.security_enabled = security_enabled
         self.enforcer = SecurityEnforcer()
         self._pending_fetches: Dict[ObjectKey, List[_RunningTxn]] = {}
-        # Materialisation cache: key -> (signature, state).  Valid while
-        # the journal, the snapshot and the security window are unchanged.
-        self._mat_cache: Dict[ObjectKey, Tuple[Any, OpBasedCRDT]] = {}
         self._compact_tick = 0
         self._subscriptions: Dict[ObjectKey,
                                   List[Callable[[ObjectKey], None]]] = {}
@@ -212,7 +209,6 @@ class EdgeNode(Actor):
         self._interest_types.pop(key, None)
         self._warm.discard(key)
         self._key_cut.pop(key, None)
-        self._mat_cache.pop(key, None)
         self.cache.retract_interest(key)
         if self.session_open:
             self.send(self.connected_dc, InterestChange(
@@ -221,10 +217,11 @@ class EdgeNode(Actor):
 
     def _on_evict(self, key: ObjectKey) -> None:
         # Objects evicted from the cache are unsubscribed (section 5.1.2).
+        # The store drop behind the eviction already invalidated every
+        # cached materialised view of the key.
         self._interest_types.pop(key, None)
         self._warm.discard(key)
         self._key_cut.pop(key, None)
-        self._mat_cache.pop(key, None)
         if self.session_open:
             self.send(self.connected_dc, InterestChange(
                 self.node_id, remove=(key.to_dict(),),
@@ -327,7 +324,6 @@ class EdgeNode(Actor):
         for txn in self._uncovered.values():
             if txn.touches(key):
                 journal.append(txn)
-        self._mat_cache.pop(key, None)
         self._notify_subscribers([key])
 
     def _on_update_push(self, msg: UpdatePush, sender: str) -> None:
@@ -420,8 +416,22 @@ class EdgeNode(Actor):
 
     def _snapshot_filter(self, snapshot: Snapshot,
                          key: Optional[ObjectKey] = None):
+        return self._snapshot_view(snapshot, key)[0]
+
+    def _snapshot_view(self, snapshot: Snapshot,
+                       key: Optional[ObjectKey] = None):
+        """Visibility filter plus the frontier token describing it.
+
+        The token captures everything the filter closes over — the read
+        vector (snapshot merged with the key's seed cut), the symbolic
+        local dependencies, and the security window — so the
+        materialisation cache can recognise an unchanged frontier
+        without calling the filter.
+        """
         masked = self.enforcer.masked_dots if self.security_enabled \
             else frozenset()
+        generation = self.enforcer.generation if self.security_enabled \
+            else 0
         vector = snapshot.vector
         if key is not None:
             cut = self._key_cut.get(key)
@@ -429,35 +439,25 @@ class EdgeNode(Actor):
                 # The base was seeded at `cut`; expose entries up to the
                 # same point so the per-key view is one consistent cut.
                 vector = vector.merge(cut)
+        deps = snapshot.local_deps
 
         def visible(entry) -> bool:
             if entry.dot in masked:
                 return False
-            if entry.dot in snapshot.local_deps:
+            if entry.dot in deps:
                 return True
             return entry.txn.commit.included_in(vector)
-        return visible
+        return visible, (vector, deps, generation)
 
     def _read_cached(self, key: ObjectKey, snapshot: Snapshot,
                      type_name: str) -> Optional[OpBasedCRDT]:
-        """Materialise with a per-key cache keyed on journal version."""
-        journal = self.cache.store.journal(key)
-        visible = self._snapshot_filter(snapshot, key)
-        if journal is None:
-            return self.cache.read(key, visible, type_name)
-        generation = self.enforcer.generation if self.security_enabled \
-            else 0
-        cut = self._key_cut.get(key, VectorClock.zero())
-        signature = (journal.uid, journal.version, snapshot.vector, cut,
-                     snapshot.local_deps, generation)
-        cached = self._mat_cache.get(key)
-        if cached is not None and cached[0] == signature:
-            self.cache.stats.hits += 1
-            return cached[1]
-        state = self.cache.read(key, visible, type_name)
-        if state is not None:
-            self._mat_cache[key] = (signature, state)
-        return state
+        """Materialise through the store's incremental cache.
+
+        The returned state is shared with the cache; the transaction
+        buffer copies-on-write before mutating it.
+        """
+        visible, token = self._snapshot_view(snapshot, key)
+        return self.cache.read(key, visible, type_name, token=token)
 
     def read_value(self, key: ObjectKey, type_name: str) -> Any:
         """Read outside a transaction (current snapshot); cache-only."""
@@ -644,11 +644,14 @@ class EdgeNode(Actor):
         if not self.security_enabled:
             return
         snapshot = self.current_snapshot()
-        flt = None  # security metadata is read unmasked
 
         def read(key: ObjectKey, type_name: str):
-            state = self.cache.read(key, self._raw_filter(snapshot),
-                                    type_name)
+            # Security metadata is read unmasked; key the cached view
+            # separately so it never thrashes the masked reads.
+            state = self.cache.read(
+                key, self._raw_filter(snapshot), type_name,
+                token=(snapshot.vector, snapshot.local_deps),
+                cache_key=(key, "raw"))
             return state if state is not None else new_crdt(type_name)
 
         acl_set = read(ACL_OBJECT, "orset").value()

@@ -96,18 +96,22 @@ class PoPNode(EdgeNode):
                                      self.vector.to_dict()))
 
     def _seed_state(self, key: ObjectKey) -> dict:
-        journal = self.cache.store.journal(key)
         vector = self.vector
 
         def visible(entry) -> bool:
             return entry.txn.commit.included_in(vector)
 
+        # Seeds cut a pure-vector view (no local deps, no masking), so
+        # they use their own cached-view scope: every child seeded at
+        # the same stable cut reuses one materialisation.
+        state, dots = self.cache.store.read_with_dots(
+            key, visible, type_name=self._interest_types[key],
+            token=("seed", vector), cache_key=(key, "seed"))
         return {
             "key": key.to_dict(),
             "type": self._interest_types[key],
-            "base": journal.materialise(visible).to_dict(),
-            "base_dots": [d.to_dict() for d in
-                          sorted(journal.visible_dots(visible))],
+            "base": state.to_dict(),
+            "base_dots": [d.to_dict() for d in sorted(dots)],
         }
 
     def _child_commit(self, msg: EdgeCommit, sender: str) -> None:

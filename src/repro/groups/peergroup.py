@@ -435,12 +435,16 @@ class GroupMember(EdgeNode):
             def visible(entry) -> bool:
                 return entry.txn.commit.included_in(vector)
 
+            # Same pure-vector view the PoP cuts for its children, kept
+            # in its own cached-view scope.
+            crdt, dots = self.cache.store.read_with_dots(
+                key, visible, type_name=msg.type_name,
+                token=("seed", vector), cache_key=(key, "seed"))
             state = {
                 "key": key.to_dict(),
                 "type": msg.type_name,
-                "base": journal.materialise(visible).to_dict(),
-                "base_dots": [d.to_dict() for d in
-                              sorted(journal.visible_dots(visible))],
+                "base": crdt.to_dict(),
+                "base_dots": [d.to_dict() for d in sorted(dots)],
             }
             self.send(msg.requester, GroupFetchReply(
                 msg.key, state, vector.to_dict(), True))

@@ -2,6 +2,8 @@
 
 from .cache import CacheStats, InterestCache
 from .kv import VersionedStore
+from .matcache import MaterialisedCache
 from .ring import HashRing
 
-__all__ = ["CacheStats", "InterestCache", "VersionedStore", "HashRing"]
+__all__ = ["CacheStats", "InterestCache", "MaterialisedCache",
+           "VersionedStore", "HashRing"]

@@ -7,18 +7,32 @@ readers materialise versions through a visibility filter.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import (Dict, FrozenSet, Hashable, List, Optional, Set,
+                    Tuple, TYPE_CHECKING)
 
+from ..core.dot import Dot
 from ..core.journal import EntryFilter, ObjectJournal
 from ..core.txn import ObjectKey, Transaction
 from ..crdt.base import OpBasedCRDT, new_crdt
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .matcache import MaterialisedCache
+
 
 class VersionedStore:
-    """Maps object keys to their journals; applies whole transactions."""
+    """Maps object keys to their journals; applies whole transactions.
 
-    def __init__(self) -> None:
+    When ``mat_cache`` is attached (a
+    :class:`~repro.store.matcache.MaterialisedCache`), reads that carry
+    a frontier ``token`` are served from it with incremental replay;
+    reads without a token still go through it unless the caller opts
+    out, and ``drop`` invalidates every cached view of the object.
+    """
+
+    def __init__(self, mat_cache: Optional["MaterialisedCache"] = None) \
+            -> None:
         self._journals: Dict[ObjectKey, ObjectJournal] = {}
+        self.mat_cache = mat_cache
 
     # -- writes ---------------------------------------------------------------
     def apply_transaction(self, txn: Transaction) -> bool:
@@ -55,19 +69,41 @@ class VersionedStore:
 
     def read(self, key: ObjectKey,
              visible: Optional[EntryFilter] = None,
-             type_name: Optional[str] = None) -> OpBasedCRDT:
+             type_name: Optional[str] = None,
+             token: Optional[Hashable] = None,
+             cache_key: Optional[Hashable] = None) -> OpBasedCRDT:
         """Materialise the version of ``key`` selected by ``visible``.
 
         Reading an unknown key returns the type's initial state when
         ``type_name`` is given (objects start in a known initial state,
         paper section 3.1), else raises ``KeyError``.
+
+        With an attached materialisation cache the result may be a
+        *shared* cached state — callers must not mutate it.  ``token``
+        is the reader's frontier descriptor (see
+        :meth:`MaterialisedCache.materialise`); ``cache_key`` scopes the
+        cached view (defaults to ``key``).
         """
+        return self.read_with_dots(key, visible, type_name=type_name,
+                                   token=token, cache_key=cache_key)[0]
+
+    def read_with_dots(self, key: ObjectKey,
+                       visible: Optional[EntryFilter] = None,
+                       type_name: Optional[str] = None,
+                       token: Optional[Hashable] = None,
+                       cache_key: Optional[Hashable] = None) \
+            -> Tuple[OpBasedCRDT, FrozenSet[Dot]]:
+        """Like :meth:`read`, also returning the visible dot set."""
         journal = self._journals.get(key)
         if journal is None:
             if type_name is None:
                 raise KeyError(f"unknown object {key}")
-            return new_crdt(type_name)
-        return journal.materialise(visible)
+            return new_crdt(type_name), frozenset()
+        if self.mat_cache is not None:
+            return self.mat_cache.materialise(journal, visible,
+                                              token=token, key=cache_key)
+        return (journal.materialise(visible),
+                frozenset(journal.visible_dots(visible)))
 
     def keys(self) -> Set[ObjectKey]:
         return set(self._journals)
@@ -91,6 +127,8 @@ class VersionedStore:
     def drop(self, key: ObjectKey) -> None:
         """Evict an object entirely (edge cache eviction)."""
         self._journals.pop(key, None)
+        if self.mat_cache is not None:
+            self.mat_cache.invalidate_object(key)
 
     def __len__(self) -> int:
         return len(self._journals)

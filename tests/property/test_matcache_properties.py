@@ -1,0 +1,109 @@
+"""Property: a cached read always equals a fresh materialisation.
+
+Random interleavings of ``append`` / ``admit`` / ``advance_vector`` /
+``advance_base`` (compaction) / ``drop``+re-``ensure`` must never make
+the incremental materialisation cache diverge from a from-scratch
+``ObjectJournal.materialise`` — same CRDT value and same visible dots —
+no matter which path (pure hit, incremental replay, rebuild) served it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (CommitStamp, Dot, ObjectKey, Snapshot,
+                        Transaction, VectorClock, WriteOp)
+from repro.core.visibility import VisibleState
+from repro.crdt import Counter, ORSet
+from repro.store import MaterialisedCache, VersionedStore
+
+
+KEY = ObjectKey("b", "x")
+ORIGINS = ["a", "b", "c"]
+N_TXNS = 12
+
+
+def _counter_txns():
+    txns = []
+    for i in range(1, N_TXNS + 1):
+        op = Counter().prepare("increment", i)
+        # Odd dots stay symbolic (visible only once admitted); even dots
+        # carry a concrete stamp (visible once the vector advances).
+        entries = {"dc0": i} if i % 2 == 0 else None
+        txns.append(Transaction(
+            dot=Dot(i, ORIGINS[i % len(ORIGINS)]),
+            origin=ORIGINS[i % len(ORIGINS)],
+            snapshot=Snapshot(VectorClock()),
+            commit=CommitStamp(entries),
+            writes=[WriteOp(KEY, op)]))
+    return txns
+
+
+def _orset_txns():
+    txns = []
+    for i in range(1, N_TXNS + 1):
+        # Overlapping elements from different origins exercise tag merge.
+        op = ORSet().prepare("add", f"e{i % 4}")
+        entries = {"dc0": i} if i % 2 == 0 else None
+        txns.append(Transaction(
+            dot=Dot(i, ORIGINS[i % len(ORIGINS)]),
+            origin=ORIGINS[i % len(ORIGINS)],
+            snapshot=Snapshot(VectorClock()),
+            commit=CommitStamp(entries),
+            writes=[WriteOp(KEY, op)]))
+    return txns
+
+
+command_st = st.one_of(
+    st.tuples(st.just("append"), st.integers(0, N_TXNS - 1)),
+    st.tuples(st.just("admit"), st.integers(0, N_TXNS - 1)),
+    st.tuples(st.just("advance"), st.integers(0, N_TXNS)),
+    st.tuples(st.just("compact"), st.just(0)),
+    st.tuples(st.just("drop"), st.just(0)),
+)
+
+
+def _run_interleaving(commands, txns, type_name):
+    cache = MaterialisedCache()
+    store = VersionedStore(mat_cache=cache)
+    store.ensure_object(KEY, type_name)
+    state = VisibleState()
+    for command, arg in commands:
+        if command == "append":
+            store.apply_transaction(txns[arg])
+        elif command == "admit":
+            state.admit(txns[arg])
+        elif command == "advance":
+            state.advance_vector(VectorClock({"dc0": arg}))
+        elif command == "compact":
+            journal = store.journal(KEY)
+            journal.advance_base(state.entry_filter())
+        elif command == "drop":
+            store.drop(KEY)
+            store.ensure_object(KEY, type_name)
+        flt = state.entry_filter()
+        cached, dots = store.read_with_dots(
+            KEY, flt, type_name=type_name, token=state.read_token())
+        journal = store.journal(KEY)
+        fresh = journal.materialise(flt)
+        assert cached.value() == fresh.value()
+        assert dots == frozenset(journal.visible_dots(flt))
+    return cache
+
+
+class TestCachedReadsMatchFreshMaterialisation:
+    @settings(max_examples=120, deadline=None)
+    @given(commands=st.lists(command_st, min_size=1, max_size=40))
+    def test_counter_interleaving(self, commands):
+        _run_interleaving(commands, _counter_txns(), "counter")
+
+    @settings(max_examples=80, deadline=None)
+    @given(commands=st.lists(command_st, min_size=1, max_size=40))
+    def test_orset_interleaving(self, commands):
+        _run_interleaving(commands, _orset_txns(), "orset")
+
+    @settings(max_examples=60, deadline=None)
+    @given(commands=st.lists(command_st, min_size=5, max_size=40))
+    def test_stats_account_every_read(self, commands):
+        cache = _run_interleaving(commands, _counter_txns(), "counter")
+        stats = cache.stats
+        total = stats.mat_hits + stats.mat_incremental + stats.mat_misses
+        assert total == len(commands)

@@ -137,6 +137,41 @@ class TestCompaction:
         j.advance_base(lambda e: True)
         assert j.version > v
 
+    def test_base_version_bumps_only_on_fold(self):
+        j = ObjectJournal(KEY, "counter")
+        j.append(counter_txn(1, entries={"dc0": 1}))
+        assert j.base_version == 0  # appends leave the base alone
+        j.advance_base(lambda e: True)
+        assert j.base_version == 1
+        j.advance_base(lambda e: True)  # nothing to fold
+        assert j.base_version == 1
+
+    def test_fold_large_stable_prefix(self):
+        j = ObjectJournal(KEY, "counter")
+        for i in range(1, 201):
+            j.append(counter_txn(i, entries={"dc0": i}))
+        vec = VectorClock({"dc0": 150})
+        folded = j.advance_base(
+            lambda e: e.txn.commit.included_in(vec))
+        assert folded == 150
+        assert j.journal_length == 50
+        assert len(j.base_dots) == 150
+        assert j.materialise().value() == 200
+        # The index only tracks journalled entries, but has() still
+        # answers for folded dots.
+        assert j.has(Dot(1, "e")) and j.has(Dot(200, "e"))
+
+    def test_base_dots_view_is_frozen_and_refreshed(self):
+        j = ObjectJournal(KEY, "counter")
+        j.append(counter_txn(1, entries={"dc0": 1}))
+        j.advance_base(lambda e: True)
+        view = j.base_dots
+        assert isinstance(view, frozenset)
+        assert view == {Dot(1, "e")}
+        j.append(counter_txn(2, entries={"dc0": 2}))
+        j.advance_base(lambda e: True)
+        assert j.base_dots == {Dot(1, "e"), Dot(2, "e")}
+
 
 class TestSnapshotState:
     def test_roundtrip_base(self):

@@ -188,3 +188,38 @@ class TestInterestCache:
         cache.read(key, None, "counter")
         cache.read(ObjectKey("b", "miss"), None, "counter")
         assert cache.stats.hit_ratio == 0.5
+
+    def test_interest_set_is_frozen_view(self):
+        cache = InterestCache()
+        key = ObjectKey("b", "x")
+        cache.declare_interest(key, "counter")
+        view = cache.interest_set
+        assert isinstance(view, frozenset)
+        cache.retract_interest(key)
+        assert cache.interest_set == frozenset()
+
+    def test_materialisation_counters(self):
+        cache = InterestCache()
+        key = ObjectKey("b", "x")
+        cache.declare_interest(key, "counter")
+        cache.apply_transaction(txn(1))
+        token = ("t", 1)
+        cache.read(key, None, "counter", token=token)
+        cache.read(key, None, "counter", token=token)
+        assert cache.stats.mat_misses == 1
+        assert cache.stats.mat_hits == 1
+        cache.apply_transaction(txn(2))
+        cache.read(key, None, "counter", token=token)
+        assert cache.stats.mat_incremental == 1
+        assert cache.stats.mat_hit_ratio == 2 / 3
+
+    def test_read_with_dots(self):
+        cache = InterestCache()
+        key = ObjectKey("b", "x")
+        cache.declare_interest(key, "counter")
+        cache.apply_transaction(txn(1))
+        state, dots = cache.read_with_dots(key, None, "counter")
+        assert state.value() == 1
+        assert dots == {Dot(1, "e")}
+        assert cache.read_with_dots(ObjectKey("b", "nope"), None,
+                                    "counter") is None

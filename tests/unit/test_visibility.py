@@ -79,6 +79,58 @@ class TestVisibleState:
         assert state.vector.to_dict() == {"dc0": 5, "dc1": 1}
 
 
+class TestFingerprint:
+    def test_admit_bumps_fingerprint(self):
+        state = VisibleState()
+        before = state.fingerprint
+        state.admit(txn(1, entries={"dc0": 1}))
+        assert state.fingerprint > before
+
+    def test_duplicate_admit_does_not_bump(self):
+        state = VisibleState()
+        t = txn(1, entries={"dc0": 1})
+        state.admit(t)
+        fp = state.fingerprint
+        state.admit(t)
+        assert state.fingerprint == fp
+
+    def test_resolve_commit_bumps_fingerprint(self):
+        state = VisibleState()
+        t = txn(1)
+        state.admit(t)
+        fp = state.fingerprint
+        t.commit.add_entry("dc0", 4)
+        state.resolve_commit(t)
+        assert state.fingerprint > fp
+
+    def test_advance_vector_bumps_only_on_progress(self):
+        state = VisibleState()
+        state.advance_vector(VectorClock({"dc0": 5}))
+        fp = state.fingerprint
+        state.advance_vector(VectorClock({"dc0": 3}))  # already covered
+        assert state.fingerprint == fp
+        state.advance_vector(VectorClock({"dc1": 1}))
+        assert state.fingerprint > fp
+
+    def test_read_token_reflects_fingerprint(self):
+        state = VisibleState()
+        t0 = state.read_token()
+        state.admit(txn(1, entries={"dc0": 1}))
+        assert state.read_token() != t0
+        assert state.read_token() == state.read_token()
+
+    def test_dots_view_is_frozen_and_refreshed(self):
+        state = VisibleState()
+        t = txn(1)
+        state.admit(t)
+        view = state.dots
+        assert isinstance(view, frozenset)
+        assert view == {t.dot}
+        t2 = txn(2, origin="f")
+        state.admit(t2)
+        assert state.dots == {t.dot, t2.dot}
+
+
 class TestAdmission:
     def test_admissible_runs_extra_checks(self):
         state = VisibleState()
@@ -109,6 +161,37 @@ class TestAdmission:
         pending = [t1]
         admitted = admit_ready(pending, state, [lambda t: False])
         assert admitted == [] and pending == [t1]
+
+    def test_admit_ready_skips_retest_at_same_fingerprint(self):
+        state = VisibleState()
+        blocked = txn(1)  # deps trivially met; the gate blocks it
+        calls = []
+
+        def gate(t):
+            calls.append(t.dot)
+            return False
+
+        pending = [blocked]
+        memo = {}
+        admit_ready(pending, state, [gate], failed_at=memo)
+        assert calls == [blocked.dot]
+        assert memo == {blocked.dot: state.fingerprint}
+        # Same frontier: the blocked txn is not re-tested at all.
+        admit_ready(pending, state, [gate], failed_at=memo)
+        assert calls == [blocked.dot]
+        assert pending == [blocked]
+
+    def test_admit_ready_retests_after_progress(self):
+        state = VisibleState()
+        blocked = txn(2, snapshot_vector={"dc0": 1}, entries={"dc0": 2})
+        pending = [blocked]
+        memo = {}
+        admit_ready(pending, state, failed_at=memo)
+        assert pending == [blocked]
+        state.advance_vector(VectorClock({"dc0": 1}))
+        admitted = admit_ready(pending, state, failed_at=memo)
+        assert [a.dot for a in admitted] == [blocked.dot]
+        assert pending == [] and memo == {}
 
 
 class TestKStability:
