@@ -1,0 +1,24 @@
+"""Deterministic chaos harness for the colony reproduction.
+
+Fault schedules are generated from a single seed and executed against the
+seeded discrete-event simulator, so every run — including failing ones —
+replays exactly.  The invariant checker asserts the paper's correctness
+properties (strong convergence, session guarantees, dot uniqueness,
+causal-vector monotonicity, K-stability gating) at checkpoints during the
+fault window and again at quiescence.
+
+Entry point: ``python -m repro.chaos --seeds 10``.
+"""
+
+from .invariants import InvariantChecker, InvariantViolation
+from .runner import (TOPOLOGIES, ScenarioConfig, build_world, run_scenario,
+                     run_suite, self_check, shrink_schedule)
+from .schedule import (FAULT_KINDS, FaultEvent, FaultInjector, FaultSpec,
+                       generate_schedule)
+
+__all__ = [
+    "FAULT_KINDS", "FaultEvent", "FaultInjector", "FaultSpec",
+    "InvariantChecker", "InvariantViolation", "ScenarioConfig",
+    "TOPOLOGIES", "build_world", "generate_schedule", "run_scenario",
+    "run_suite", "self_check", "shrink_schedule",
+]

@@ -1,0 +1,569 @@
+"""Chaos scenario runner: build world, inject faults, drive, check.
+
+One scenario = one seed on one topology.  The seed determines the
+simulator's RNG, the fault schedule and the workload, so a failing
+scenario replays bit-for-bit with ``--topology T --seed N``.
+
+Three standard topologies mirror the paper's deployment tiers:
+
+``group``  2-DC mesh (K=2), a 3-member peer group on dc0, a solo far
+           edge on dc1
+``pop``    2-DC mesh, a PoP on dc0 proxying two child edges, a far edge
+           on dc1
+``tree``   the full Figure 1 tree: DC mesh <- PoP <- {peer group, far}
+
+On an invariant violation the runner shrinks the fault schedule with a
+greedy delta-debugging pass (drop one event at a time, keep the drop if
+the violation survives) and reports the minimal failing schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.journal import JournalEntry
+from ..core.txn import ObjectKey, Transaction
+from ..dc.datacenter import DataCenter
+from ..edge.node import EdgeNode
+from ..edge.pop import PoPNode
+from ..groups.peergroup import GroupMember, form_group
+from ..sim.network import CELLULAR, ETHERNET, LAN, LatencyModel
+from ..sim.runtime import Simulation
+from .invariants import InvariantChecker, InvariantViolation
+from .schedule import FaultEvent, FaultInjector, FaultSpec, \
+    generate_schedule
+
+TOPOLOGIES = ("group", "pop", "tree")
+
+
+class ScenarioConfig:
+    """Knobs for one scenario run (all deterministic given the seed)."""
+
+    def __init__(self, topology: str = "group", seed: int = 0,
+                 n_txns: int = 24, window_ms: float = 6000.0,
+                 max_faults: int = 8, checkpoint_ms: float = 250.0,
+                 settle_step_ms: float = 500.0,
+                 settle_max_ms: float = 40000.0):
+        if topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {topology!r}")
+        self.topology = topology
+        self.seed = seed
+        self.n_txns = n_txns
+        self.window_ms = window_ms
+        self.max_faults = max_faults
+        self.checkpoint_ms = checkpoint_ms
+        self.settle_step_ms = settle_step_ms
+        self.settle_max_ms = settle_max_ms
+
+
+class World:
+    """A built topology, ready for workload and fault injection."""
+
+    def __init__(self, sim: Simulation, dcs: List[DataCenter],
+                 replicas: List[EdgeNode], clients: List[EdgeNode],
+                 remote_clients: List[EdgeNode],
+                 keys: List[Tuple[ObjectKey, str]], spec: FaultSpec,
+                 k_target: int):
+        self.sim = sim
+        self.dcs = dcs
+        self.replicas = replicas          # every edge-tier node
+        self.clients = clients            # replicas that issue txns
+        self.remote_clients = remote_clients
+        self.keys = keys
+        self.spec = spec
+        self.k_target = k_target
+
+    @property
+    def actors(self) -> Dict[str, Any]:
+        return {r.node_id: r for r in self.replicas}
+
+    @property
+    def peer_dcs(self) -> Dict[str, List[str]]:
+        return {dc.node_id: list(dc.peer_dcs) for dc in self.dcs}
+
+
+KEYS = [(ObjectKey("chaos", "c0"), "counter"),
+        (ObjectKey("chaos", "c1"), "counter"),
+        (ObjectKey("chaos", "s0"), "orset")]
+
+
+def _build_dcs(sim: Simulation, n_dcs: int = 2,
+               k_target: int = 2) -> List[DataCenter]:
+    dc_ids = [f"dc{i}" for i in range(n_dcs)]
+    dcs = []
+    for dc_id in dc_ids:
+        dc = sim.spawn(DataCenter, dc_id,
+                       peer_dcs=[d for d in dc_ids if d != dc_id],
+                       n_shards=2, k_target=k_target)
+        dcs.append(dc)
+        for shard in dc.shard_ids:
+            sim.network.set_link(dc_id, shard, LAN)
+    for a in dc_ids:
+        for b in dc_ids:
+            if a < b:
+                sim.network.set_link(a, b, LatencyModel(5.0, 1.0))
+    return dcs
+
+
+def _declare(node: EdgeNode,
+             keys: Sequence[Tuple[ObjectKey, str]]) -> None:
+    for key, type_name in keys:
+        node.declare_interest(key, type_name)
+
+
+def build_world(topology: str, seed: int,
+                edge_cls: type = EdgeNode) -> World:
+    """Build one of the standard topologies, warmed up and converged.
+
+    ``edge_cls`` swaps the implementation of the solo far edge — the
+    hook the self-check uses to plant a buggy test double.
+    """
+    sim = Simulation(seed=seed, default_latency=CELLULAR)
+    dcs = _build_dcs(sim, n_dcs=2, k_target=2)
+    k_target = 2
+    far = sim.spawn(edge_cls, "far", dc_id="dc1")
+    sim.network.set_link("far", "dc1", CELLULAR)
+    _declare(far, KEYS)
+
+    if topology == "group":
+        members = _spawn_group(sim, connect_via="dc0")
+        sim.network.set_link("m0", "dc0", ETHERNET)
+        far.connect()
+        sim.run_for(300)
+        form_group(members)
+        sim.run_for(500)
+        replicas = members + [far]
+        clients = replicas
+        spec = FaultSpec(
+            wan_links=[("dc0", "dc1")],
+            access_links=[("m0", "dc0"), ("far", "dc1")],
+            group_links=[("m0", "m1"), ("m0", "m2"), ("m1", "m2")],
+            blackout_nodes=["m0", "m1", "m2", "far"],
+            offline_nodes=["m0", "far"],
+            churn_nodes=["m1", "m2"],
+            migrations={"far": ["dc0"], "m0": ["dc1"]},
+            dcs=["dc0", "dc1"])
+    elif topology == "pop":
+        pop = sim.spawn(PoPNode, "pop0", dc_id="dc0")
+        sim.network.set_link("pop0", "dc0", ETHERNET)
+        edges = []
+        for i in range(2):
+            node = sim.spawn(EdgeNode, f"e{i}", dc_id="pop0")
+            sim.network.set_link(f"e{i}", "pop0", LatencyModel(10.0, 2.0))
+            _declare(node, KEYS)
+            edges.append(node)
+        pop.connect()
+        far.connect()
+        sim.run_for(300)
+        for node in edges:
+            node.connect()
+        sim.run_for(500)
+        replicas = [pop] + edges + [far]
+        clients = edges + [far]
+        spec = FaultSpec(
+            wan_links=[("dc0", "dc1")],
+            access_links=[("pop0", "dc0"), ("e0", "pop0"),
+                          ("e1", "pop0"), ("far", "dc1")],
+            blackout_nodes=["pop0", "e0", "e1", "far"],
+            offline_nodes=["pop0", "e0", "e1", "far"],
+            migrations={"far": ["dc0"], "pop0": ["dc1"],
+                        "e0": ["dc0"]},
+            dcs=["dc0", "dc1"])
+    else:  # tree — the full Figure 1 composition
+        pop = sim.spawn(PoPNode, "pop0", dc_id="dc0")
+        sim.network.set_link("pop0", "dc0", ETHERNET)
+        members = _spawn_group(sim, connect_via="pop0")
+        sim.network.set_link("m0", "pop0", ETHERNET)
+        pop.connect()
+        far.connect()
+        sim.run_for(300)
+        form_group(members)
+        sim.run_for(500)
+        replicas = [pop] + members + [far]
+        clients = members + [far]
+        spec = FaultSpec(
+            wan_links=[("dc0", "dc1")],
+            access_links=[("pop0", "dc0"), ("m0", "pop0"),
+                          ("far", "dc1")],
+            group_links=[("m0", "m1"), ("m0", "m2"), ("m1", "m2")],
+            blackout_nodes=["pop0", "m1", "m2", "far"],
+            offline_nodes=["far"],
+            churn_nodes=["m1", "m2"],
+            migrations={"far": ["dc0"], "m0": ["dc0"],
+                        "pop0": ["dc1"]},
+            dcs=["dc0", "dc1"])
+
+    # Let the initial seeds and session handshakes fully settle.
+    sim.run_for(400)
+    return World(sim, dcs, replicas, clients, [far], list(KEYS), spec,
+                 k_target)
+
+
+def _spawn_group(sim: Simulation, connect_via: str) -> List[GroupMember]:
+    members = []
+    for i in range(3):
+        node = sim.spawn(GroupMember, f"m{i}", dc_id=connect_via,
+                         group_id="g", parent_id="m0")
+        _declare(node, KEYS)
+        members.append(node)
+    for a in members:
+        for b in members:
+            if a.node_id < b.node_id:
+                sim.network.set_link(a.node_id, b.node_id, LAN)
+    return members
+
+
+# ----------------------------------------------------------------------
+# workload
+# ----------------------------------------------------------------------
+class _Workload:
+    """Seeded client transactions plus the durability ledger.
+
+    Every *locally committed* update is recorded; asynchronous commit
+    promises durability once the pipeline drains, so at quiescence the
+    DCs must reflect exactly this ledger.
+    """
+
+    def __init__(self, world: World, seed: int, start: float,
+                 window: float, n_txns: int):
+        self.world = world
+        self.committed = 0
+        self.aborted = 0
+        self.remote_failed = 0
+        self.expected: Dict[ObjectKey, Any] = {
+            key: (0 if t == "counter" else set())
+            for key, t in world.keys}
+        rng = random.Random(f"chaos-workload/{seed}")
+        span = max(window - 500.0, 100.0)
+        for i in range(n_txns):
+            at = start + rng.uniform(50.0, span)
+            client = rng.choice(world.clients)
+            key, type_name = rng.choice(world.keys)
+            roll = rng.random()
+            if roll < 0.15:
+                self._schedule_read(at, client, key, type_name)
+            elif roll < 0.25 and client in world.remote_clients:
+                self._schedule_remote(at, client, key, type_name,
+                                      rng.randint(1, 5), i)
+            else:
+                self._schedule_update(at, client, key, type_name,
+                                      rng.randint(1, 5), i)
+
+    def _schedule_read(self, at: float, client: EdgeNode,
+                       key: ObjectKey, type_name: str) -> None:
+        def body(tx):
+            yield tx.read(key, type_name)
+
+        def fire() -> None:
+            client.run_transaction(
+                body, on_done=lambda r, s: self._done(None, None, None),
+                on_abort=lambda exc: self._abort())
+
+        self.world.sim.loop.schedule_at(at, fire)
+
+    def _schedule_update(self, at: float, client: EdgeNode,
+                         key: ObjectKey, type_name: str, amount: int,
+                         index: int) -> None:
+        method, args = self._op(client, type_name, amount, index)
+
+        def body(tx):
+            yield tx.update(key, type_name, method, *args)
+
+        def fire() -> None:
+            client.run_transaction(
+                body,
+                on_done=lambda r, s: self._done(key, method, args),
+                on_abort=lambda exc: self._abort())
+
+        self.world.sim.loop.schedule_at(at, fire)
+
+    def _schedule_remote(self, at: float, client: EdgeNode,
+                         key: ObjectKey, type_name: str, amount: int,
+                         index: int) -> None:
+        method, args = self._op(client, type_name, amount, index)
+
+        def fire() -> None:
+            client.run_remote_transaction(
+                updates=[(key, type_name, method, args)],
+                on_done=lambda r, s: self._done(key, method, args),
+                on_fail=lambda reason: self._remote_fail())
+
+        self.world.sim.loop.schedule_at(at, fire)
+
+    @staticmethod
+    def _op(client: EdgeNode, type_name: str, amount: int,
+            index: int) -> Tuple[str, Tuple]:
+        if type_name == "counter":
+            return "increment", (amount,)
+        return "add", (f"{client.node_id}:{index}",)
+
+    def _done(self, key: Optional[ObjectKey], method: Optional[str],
+              args: Optional[Tuple]) -> None:
+        self.committed += 1
+        if key is None:
+            return
+        if method == "increment":
+            self.expected[key] += args[0]
+        else:
+            self.expected[key].add(args[0])
+
+    def _abort(self) -> None:
+        self.aborted += 1
+
+    def _remote_fail(self) -> None:
+        self.remote_failed += 1
+
+    def check_durability(self, world: World) -> List[InvariantViolation]:
+        """Locally committed updates must all survive into the DCs."""
+        violations = []
+        reference = world.dcs[0].state_digest()
+        for key, type_name in world.keys:
+            expect = self.expected[key]
+            got = reference.get(key)
+            if type_name == "orset":
+                got = set(got or ())
+            else:
+                got = got or 0
+            if got != expect:
+                violations.append(InvariantViolation(
+                    "durability", world.dcs[0].node_id,
+                    f"{key}: DC holds {got!r}, committed {expect!r}",
+                    world.sim.now))
+        return violations
+
+
+# ----------------------------------------------------------------------
+# scenario execution
+# ----------------------------------------------------------------------
+class ScenarioResult:
+    def __init__(self, config: ScenarioConfig,
+                 schedule: List[FaultEvent]):
+        self.config = config
+        self.schedule = schedule
+        self.violations: List[InvariantViolation] = []
+        self.converged = False
+        self.convergence_ms = 0.0
+        self.faults_injected = 0
+        self.messages_dropped = 0
+        self.drops_by_link: Dict[str, int] = {}
+        self.txns_committed = 0
+        self.txns_aborted = 0
+        self.remote_failed = 0
+        self.checkpoints_run = 0
+        self.minimal_schedule: Optional[List[FaultEvent]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = {
+            "topology": self.config.topology,
+            "seed": self.config.seed,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "converged": self.converged,
+            "convergence_ms": round(self.convergence_ms, 3),
+            "faults_injected": self.faults_injected,
+            "messages_dropped": self.messages_dropped,
+            "drops_by_link": self.drops_by_link,
+            "txns_committed": self.txns_committed,
+            "txns_aborted": self.txns_aborted,
+            "remote_failed": self.remote_failed,
+            "checkpoints_run": self.checkpoints_run,
+            "schedule": [e.to_dict() for e in self.schedule],
+        }
+        if self.minimal_schedule is not None:
+            data["minimal_schedule"] = [e.to_dict()
+                                        for e in self.minimal_schedule]
+        return data
+
+
+def run_scenario(config: ScenarioConfig,
+                 schedule: Optional[Sequence[FaultEvent]] = None,
+                 edge_cls: type = EdgeNode) -> ScenarioResult:
+    """Run one seeded scenario; deterministic for (config, schedule)."""
+    world = build_world(config.topology, config.seed, edge_cls=edge_cls)
+    sim = world.sim
+    start = sim.now
+    if schedule is None:
+        schedule = generate_schedule(config.seed, world.spec,
+                                     start=start,
+                                     window=config.window_ms,
+                                     max_faults=config.max_faults)
+    schedule = list(schedule)
+    result = ScenarioResult(config, schedule)
+    checker = InvariantChecker(world.dcs, world.replicas, world.k_target)
+    injector = FaultInjector(sim, world.actors, world.peer_dcs)
+    injector.install(schedule)
+    workload = _Workload(world, config.seed, start, config.window_ms,
+                         config.n_txns)
+
+    # Fault + workload phase, with periodic safety checkpoints.
+    end_of_window = start + config.window_ms
+    while sim.now < end_of_window and not result.violations:
+        sim.run_for(min(config.checkpoint_ms, end_of_window - sim.now))
+        result.violations += checker.checkpoint()
+    injector.heal_all()
+    heal_time = sim.now
+
+    # Settle phase: drive to quiescence, then the full quiescent check.
+    while not result.violations:
+        sim.run_for(config.settle_step_ms)
+        result.violations += checker.checkpoint()
+        if result.violations:
+            break
+        if checker.pipelines_idle() and not checker.check_convergence():
+            result.converged = True
+            result.convergence_ms = sim.now - heal_time
+            break
+        if sim.now - heal_time > config.settle_max_ms:
+            break
+    if not result.violations:
+        result.violations += checker.check_quiescent()
+        if result.converged:
+            result.violations += workload.check_durability(world)
+
+    result.faults_injected = injector.faults_injected
+    stats = sim.network.stats
+    result.messages_dropped = stats.messages_dropped
+    result.drops_by_link = {f"{a}->{b}": n for (a, b), n
+                            in sorted(stats.drops_by_link.items())}
+    result.txns_committed = workload.committed
+    result.txns_aborted = workload.aborted
+    result.remote_failed = workload.remote_failed
+    result.checkpoints_run = checker.checkpoints_run
+    return result
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def shrink_schedule(config: ScenarioConfig,
+                    schedule: Sequence[FaultEvent],
+                    max_runs: int = 60) -> List[FaultEvent]:
+    """Greedy delta debugging: drop events while the failure persists."""
+    current = list(schedule)
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            runs += 1
+            if not run_scenario(config, schedule=candidate).ok:
+                current = candidate
+                improved = True
+                break
+            if runs >= max_runs:
+                break
+    return current
+
+
+# ----------------------------------------------------------------------
+# suite + self-check
+# ----------------------------------------------------------------------
+def run_suite(seeds: Sequence[int], topologies: Sequence[str],
+              config_kwargs: Optional[Dict[str, Any]] = None,
+              shrink: bool = True,
+              log: Callable[[str], None] = lambda line: None) \
+        -> Dict[str, Any]:
+    """Run the seed x topology matrix and aggregate a JSON report."""
+    config_kwargs = config_kwargs or {}
+    scenarios = []
+    failed = 0
+    for topology in topologies:
+        for seed in seeds:
+            config = ScenarioConfig(topology=topology, seed=seed,
+                                    **config_kwargs)
+            result = run_scenario(config)
+            if not result.ok and shrink and result.schedule:
+                result.minimal_schedule = shrink_schedule(
+                    config, result.schedule)
+            scenarios.append(result)
+            status = "ok" if result.ok else \
+                f"FAIL ({result.violations[0].invariant})"
+            log(f"  {topology} seed={seed}: {status} "
+                f"faults={result.faults_injected} "
+                f"dropped={result.messages_dropped} "
+                f"converged={result.convergence_ms:.0f}ms")
+            if not result.ok:
+                failed += 1
+    converged = [s.convergence_ms for s in scenarios if s.converged]
+    report = {
+        "benchmark": "chaos_harness",
+        "topologies": list(topologies),
+        "seeds": list(seeds),
+        "totals": {
+            "scenarios": len(scenarios),
+            "passed": len(scenarios) - failed,
+            "failed": failed,
+            "faults_injected": sum(s.faults_injected
+                                   for s in scenarios),
+            "messages_dropped": sum(s.messages_dropped
+                                    for s in scenarios),
+            "txns_committed": sum(s.txns_committed for s in scenarios),
+            "checkpoints_run": sum(s.checkpoints_run
+                                   for s in scenarios),
+            "mean_convergence_ms": round(
+                sum(converged) / len(converged), 3) if converged
+            else None,
+            "max_convergence_ms": round(max(converged), 3)
+            if converged else None,
+        },
+        "scenarios": [s.to_dict() for s in scenarios],
+        "ok": failed == 0,
+    }
+    return report
+
+
+class DotReplayEdge(EdgeNode):
+    """Test double with a planted dot-duplication bug.
+
+    On the first pushed transaction it re-journals the txn *past* the
+    journal's dedup index — the bug class a broken migration re-seed
+    would introduce.  The chaos checker must flag it as a
+    ``dot-uniqueness`` violation (and, downstream, a convergence one).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._replayed = False
+
+    def _on_update_push(self, msg, sender: str) -> None:
+        super()._on_update_push(msg, sender)
+        if self._replayed or not msg.txns:
+            return
+        from bisect import insort
+        txn = Transaction.from_dict(msg.txns[0])
+        for key in txn.keys:
+            journal = self.cache.store.journal(key)
+            if journal is None or not journal.has(txn.dot):
+                continue
+            ops = [w.op for w in txn.tagged_writes() if w.key == key]
+            # Bypass append()'s dedup on purpose: a second entry with
+            # the same dot lands in the journal.
+            insort(journal._entries, JournalEntry(txn, ops))
+            journal.version += 1
+            self._replayed = True
+
+
+def self_check(seed: int = 0) -> Tuple[bool, ScenarioResult]:
+    """Prove the harness catches a planted dot-duplication bug.
+
+    Runs the group topology with a fault-free schedule and the buggy
+    far-edge double; passes iff the checker reports dot-uniqueness.
+    """
+    config = ScenarioConfig(topology="group", seed=seed)
+    result = run_scenario(config, schedule=[], edge_cls=DotReplayEdge)
+    caught = any(v.invariant == "dot-uniqueness"
+                 for v in result.violations)
+    return caught, result
+
+
+def write_report(report: Dict[str, Any], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,270 @@
+"""Seeded fault schedules and their injection into a running world.
+
+A schedule is a list of :class:`FaultEvent` — timed faults drawn from one
+``random.Random`` seeded with the scenario seed, so the same seed always
+yields the same schedule.  The :class:`FaultInjector` installs a schedule
+onto the simulator's event loop, applying each fault at its time and
+reverting it when its window ends; ``heal_all()`` restores the baseline at
+the end of the fault phase so the world can be driven to quiescence.
+
+Fault vocabulary (each maps to existing simulator/protocol levers):
+
+``partition``   cut one link both ways (``Network.partition``/``heal``)
+``loss``        lossy link for a window (``Network.set_loss_rate``)
+``blackout``    fail-stop a node at the network level: unreachable both
+                ways, local state preserved — the paper's fail-recovery
+                model where a node recovers with its durable state
+``offline``     voluntary disconnection (``EdgeNode.go_offline``): the
+                node keeps executing locally (section 7.3.1)
+``migrate``     re-home an edge-tier node to another DC (section 3.8)
+``churn``       a group member drops off the peer network and later
+                rejoins (section 5 churn / Figure 6 scenario)
+``dc_isolate``  cut a DC from every peer DC (geo-partition); its own
+                shards and edges stay attached
+
+Intra-DC links (DC <-> shard) are deliberately *never* faulted: shard
+application inside a DC is synchronous-reliable in the model (a real
+deployment runs it over a local, replicated log), and faulting it would
+fabricate divergence the protocol never claims to survive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+FAULT_KINDS = ("partition", "loss", "blackout", "offline", "migrate",
+               "churn", "dc_isolate")
+
+
+class FaultEvent:
+    """One scheduled fault: apply at ``time``, revert ``duration`` later.
+
+    ``targets`` names the link endpoints (partition/loss), the node
+    (blackout/offline/churn), the node and destination DC (migrate), or
+    the DC (dc_isolate).  ``duration`` of 0 means instantaneous (migrate).
+    """
+
+    __slots__ = ("time", "kind", "targets", "rate", "duration")
+
+    def __init__(self, time: float, kind: str, targets: Tuple[str, ...],
+                 rate: float = 0.0, duration: float = 0.0):
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        self.time = time
+        self.kind = kind
+        self.targets = tuple(targets)
+        self.rate = rate
+        self.duration = duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"time": self.time, "kind": self.kind,
+                "targets": list(self.targets), "rate": self.rate,
+                "duration": self.duration}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        return cls(data["time"], data["kind"], tuple(data["targets"]),
+                   data.get("rate", 0.0), data.get("duration", 0.0))
+
+    def __repr__(self) -> str:
+        window = f"+{self.duration:.0f}ms" if self.duration else "now"
+        extra = f", rate={self.rate:.2f}" if self.kind == "loss" else ""
+        return (f"FaultEvent(t={self.time:.0f}, {self.kind} "
+                f"{'/'.join(self.targets)}{extra}, {window})")
+
+
+class FaultSpec:
+    """What a topology exposes to the schedule generator.
+
+    Only protocol-level faults are listed: WAN and access links, whole
+    edge-tier nodes, group members, migration alternatives.  The spec is
+    the safety boundary — anything not listed here (notably DC <-> shard
+    links) cannot be faulted.
+    """
+
+    def __init__(self,
+                 wan_links: Sequence[Tuple[str, str]] = (),
+                 access_links: Sequence[Tuple[str, str]] = (),
+                 group_links: Sequence[Tuple[str, str]] = (),
+                 blackout_nodes: Sequence[str] = (),
+                 offline_nodes: Sequence[str] = (),
+                 churn_nodes: Sequence[str] = (),
+                 migrations: Optional[Dict[str, Sequence[str]]] = None,
+                 dcs: Sequence[str] = ()):
+        self.wan_links = list(wan_links)
+        self.access_links = list(access_links)
+        self.group_links = list(group_links)
+        self.blackout_nodes = list(blackout_nodes)
+        self.offline_nodes = list(offline_nodes)
+        self.churn_nodes = list(churn_nodes)
+        self.migrations = {k: list(v)
+                           for k, v in (migrations or {}).items()}
+        self.dcs = list(dcs)
+
+    @property
+    def faultable_links(self) -> List[Tuple[str, str]]:
+        return self.wan_links + self.access_links + self.group_links
+
+
+def generate_schedule(seed: int, spec: FaultSpec, *,
+                      start: float, window: float,
+                      max_faults: int = 8) -> List[FaultEvent]:
+    """Draw a deterministic schedule for ``seed`` within the window."""
+    rng = random.Random(f"chaos-schedule/{seed}")
+    kinds: List[str] = []
+    if spec.faultable_links:
+        kinds += ["partition", "loss"]
+    if spec.blackout_nodes:
+        kinds.append("blackout")
+    if spec.offline_nodes:
+        kinds.append("offline")
+    if spec.migrations:
+        kinds.append("migrate")
+    if spec.churn_nodes:
+        kinds.append("churn")
+    if len(spec.dcs) > 1:
+        kinds.append("dc_isolate")
+    if not kinds:
+        return []
+    events: List[FaultEvent] = []
+    for _ in range(rng.randint(max(1, max_faults // 2), max_faults)):
+        at = start + rng.uniform(0.0, window)
+        kind = rng.choice(kinds)
+        if kind == "partition":
+            link = rng.choice(spec.faultable_links)
+            events.append(FaultEvent(at, kind, link,
+                                     duration=rng.uniform(200.0, 2000.0)))
+        elif kind == "loss":
+            link = rng.choice(spec.faultable_links)
+            events.append(FaultEvent(at, kind, link,
+                                     rate=rng.uniform(0.1, 0.7),
+                                     duration=rng.uniform(500.0, 3000.0)))
+        elif kind == "blackout":
+            node = rng.choice(spec.blackout_nodes)
+            events.append(FaultEvent(at, kind, (node,),
+                                     duration=rng.uniform(200.0, 1500.0)))
+        elif kind == "offline":
+            node = rng.choice(spec.offline_nodes)
+            events.append(FaultEvent(at, kind, (node,),
+                                     duration=rng.uniform(300.0, 2000.0)))
+        elif kind == "migrate":
+            node = rng.choice(sorted(spec.migrations))
+            dest = rng.choice(spec.migrations[node])
+            events.append(FaultEvent(at, kind, (node, dest)))
+        elif kind == "churn":
+            node = rng.choice(spec.churn_nodes)
+            events.append(FaultEvent(at, kind, (node,),
+                                     duration=rng.uniform(300.0, 2000.0)))
+        else:  # dc_isolate
+            dc = rng.choice(spec.dcs)
+            events.append(FaultEvent(at, kind, (dc,),
+                                     duration=rng.uniform(300.0, 2000.0)))
+    events.sort(key=lambda e: (e.time, e.kind, e.targets))
+    return events
+
+
+class FaultInjector:
+    """Applies fault events to a built world and undoes them.
+
+    Overlapping faults on the same target are reference-counted: a link
+    stays partitioned until the *last* overlapping partition window ends,
+    a lossy link keeps the highest still-active loss rate, a node stays
+    down until every overlapping blackout has passed.
+    """
+
+    def __init__(self, sim, actors: Dict[str, Any],
+                 peer_dcs: Dict[str, List[str]]):
+        self.sim = sim
+        self.network = sim.network
+        self.actors = actors
+        #: DC id -> peer DC ids, for dc_isolate.
+        self.peer_dcs = peer_dcs
+        self.faults_injected = 0
+        # (kind-class, targets) -> stack of active events.
+        self._active: Dict[Tuple[str, Tuple[str, ...]], List[FaultEvent]] \
+            = {}
+
+    # -- installation ---------------------------------------------------
+    def install(self, schedule: Sequence[FaultEvent]) -> None:
+        for event in schedule:
+            self.sim.loop.schedule_at(event.time,
+                                      lambda e=event: self._fire(e))
+
+    def _fire(self, event: FaultEvent) -> None:
+        self.apply(event)
+        if event.duration > 0:
+            self.sim.loop.schedule_at(self.sim.now + event.duration,
+                                      lambda e=event: self.revert(e))
+
+    # -- apply/revert ---------------------------------------------------
+    def _key(self, event: FaultEvent) -> Tuple[str, Tuple[str, ...]]:
+        kind = "loss" if event.kind == "loss" else \
+            "cut" if event.kind in ("partition", "dc_isolate") else \
+            event.kind
+        return (kind, event.targets)
+
+    def apply(self, event: FaultEvent) -> None:
+        self.faults_injected += 1
+        if event.duration > 0:
+            self._active.setdefault(self._key(event), []).append(event)
+        if event.kind == "partition":
+            a, b = event.targets
+            self.network.partition(a, b)
+        elif event.kind == "loss":
+            a, b = event.targets
+            self.network.set_loss_rate(a, b, event.rate, symmetric=True)
+        elif event.kind == "blackout":
+            self.network.isolate(event.targets[0])
+        elif event.kind == "offline":
+            self.actors[event.targets[0]].go_offline()
+        elif event.kind == "migrate":
+            node, dest = event.targets
+            self.actors[node].migrate_to(dest)
+        elif event.kind == "churn":
+            self.actors[event.targets[0]].disconnect_from_group()
+        else:  # dc_isolate
+            dc = event.targets[0]
+            for peer in self.peer_dcs.get(dc, ()):
+                self.network.partition(dc, peer)
+
+    def revert(self, event: FaultEvent) -> None:
+        stack = self._active.get(self._key(event))
+        if not stack or event not in stack:
+            return  # already reverted by heal_all()
+        stack.remove(event)
+        self._restore(event, stack)
+
+    def _restore(self, event: FaultEvent,
+                 remaining: List[FaultEvent]) -> None:
+        """Re-establish the strongest still-active fault, or baseline."""
+        if event.kind == "loss":
+            a, b = event.targets
+            rate = max((e.rate for e in remaining), default=0.0)
+            self.network.set_loss_rate(a, b, rate, symmetric=True)
+        elif event.kind == "partition":
+            if not remaining:
+                a, b = event.targets
+                self.network.heal(a, b)
+        elif event.kind == "blackout":
+            if not remaining:
+                self.network.restore(event.targets[0])
+        elif event.kind == "offline":
+            if not remaining:
+                self.actors[event.targets[0]].go_online()
+        elif event.kind == "churn":
+            if not remaining:
+                self.actors[event.targets[0]].reconnect_to_group()
+        elif event.kind == "dc_isolate":
+            if not remaining:
+                dc = event.targets[0]
+                for peer in self.peer_dcs.get(dc, ()):
+                    self.network.heal(dc, peer)
+
+    def heal_all(self) -> None:
+        """End of the fault phase: revert every still-active fault."""
+        for key, stack in list(self._active.items()):
+            while stack:
+                event = stack.pop()
+                self._restore(event, stack)
+        self._active.clear()

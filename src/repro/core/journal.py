@@ -142,6 +142,18 @@ class ObjectJournal:
         self.base_version += 1
         return folded
 
+    def applied_dots(self) -> List[Dot]:
+        """Every dot applied to this object, *with multiplicity*.
+
+        The base set and the entry index each deduplicate on their own,
+        but nothing structurally prevents one dot from being folded into
+        the base and journalled again (e.g. by a buggy re-seed after
+        migration).  Invariant checkers scan this census for duplicates.
+        """
+        dots = sorted(self._base_dots)
+        dots.extend(entry.dot for entry in self._entries)
+        return dots
+
     @property
     def journal_length(self) -> int:
         return len(self._entries)

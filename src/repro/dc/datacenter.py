@@ -118,9 +118,11 @@ class DataCenter(Actor):
         # -- shards -------------------------------------------------------
         self.ring = HashRing()
         self.shard_ids: List[str] = []
+        self.shards: Dict[str, ShardServer] = {}
         for i in range(n_shards):
             shard_id = f"{node_id}/shard{i}"
-            ShardServer(shard_id, loop, network, rng=rng)
+            self.shards[shard_id] = ShardServer(shard_id, loop, network,
+                                                rng=rng)
             self.ring.add_server(shard_id)
             self.shard_ids.append(shard_id)
 
@@ -437,6 +439,11 @@ class DataCenter(Actor):
             return
         if msg.dot is not None:
             dot = Dot.from_dict(msg.dot)
+        elif known_dot is not None:
+            # A duplicate that raced the first copy's commit: re-use the
+            # dot assigned the first time, so both copies collapse onto
+            # one transaction (journal appends dedupe by dot).
+            dot = known_dot
         else:
             # Server-assigned Lamport dot: orders after everything this DC
             # has applied, in a DC-scoped origin namespace.
@@ -497,7 +504,7 @@ class DataCenter(Actor):
         self.stats["replicated_in"] += 1
         self.kstab.record(txn.dot, set(msg.holders) | {self.node_id})
         queue = self._repl_queues.setdefault(sender, deque())
-        queue.append(txn)
+        self._enqueue_replicate(queue, sender, txn)
         self._process_repl_queues()
         # Tell every DC that we now hold the transaction too.
         holders = frozenset(self.kstab.holders(txn.dot))
@@ -506,8 +513,39 @@ class DataCenter(Actor):
             self.send(dc, ack)
         self._advance_stability()
 
+    @staticmethod
+    def _enqueue_replicate(queue: deque, sender: str,
+                           txn: Transaction) -> None:
+        """Queue a replicate in *stream* order, not arrival order.
+
+        Anti-entropy resends interleave with live replication, so one
+        origin's transactions can arrive out of stream order.  The queue
+        is processed strictly from the head (a blocked head must stall
+        its stream); appending blindly would let an out-of-order later
+        transaction block the very predecessor that unblocks it.
+        """
+        if any(existing.dot == txn.dot for existing in queue):
+            return  # a resend already queued; keep the first copy
+        ts = txn.commit.entries.get(sender)
+        index = len(queue)
+        if ts is not None:
+            for i, existing in enumerate(queue):
+                existing_ts = existing.commit.entries.get(sender)
+                if existing_ts is not None and existing_ts > ts:
+                    index = i
+                    break
+        queue.insert(index, txn)
+
     def _process_repl_queues(self) -> None:
-        """Apply queued remote transactions whose dependencies are met."""
+        """Apply queued remote transactions whose dependencies are met.
+
+        Each stream is applied *contiguously*: the vector component for
+        ``origin_dc`` asserts "we applied its stream up to here", so a
+        head past ``frontier + 1`` must wait for the gap below it to be
+        filled (anti-entropy resends it, because our advertised frontier
+        still points at the hole).  Skipping ahead would advertise
+        transactions we never received and stall replication forever.
+        """
         progress = True
         while progress:
             progress = False
@@ -518,14 +556,19 @@ class DataCenter(Actor):
                     if ts is None:  # pragma: no cover - malformed stream
                         queue.popleft()
                         continue
+                    frontier = self.state_vector[origin_dc]
+                    if ts <= frontier:
+                        # Stale resend of an entry we already cover.
+                        self._adopt_commit_entries(txn)
+                        queue.popleft()
+                        progress = True
+                        continue
+                    if ts > frontier + 1:
+                        break  # hole below the head: wait for the resend
                     if self.dots.seen(txn.dot):
                         # Duplicate via another DC (migration); adopt the
                         # extra equivalent commit entry (section 3.8).
-                        known = self._txn_by_dot.get(txn.dot)
-                        if known is not None:
-                            for dc, entry_ts in txn.commit.entries.items():
-                                if dc not in known.commit.entries:
-                                    known.commit.add_entry(dc, entry_ts)
+                        self._adopt_commit_entries(txn)
                         self.state_vector = self.state_vector.merge(
                             VectorClock({origin_dc: ts}))
                         self._stream_dots.setdefault(
@@ -540,6 +583,14 @@ class DataCenter(Actor):
                     self._apply_remote_txn(origin_dc, ts, txn)
                     progress = True
         self._advance_stability()
+
+    def _adopt_commit_entries(self, txn: Transaction) -> None:
+        """Merge equivalent commit stamps from a duplicate copy."""
+        known = self._txn_by_dot.get(txn.dot)
+        if known is not None:
+            for dc, entry_ts in txn.commit.entries.items():
+                if dc not in known.commit.entries:
+                    known.commit.add_entry(dc, entry_ts)
 
     def _apply_remote_txn(self, origin_dc: str, ts: int,
                           txn: Transaction) -> None:
@@ -564,7 +615,8 @@ class DataCenter(Actor):
     def _sync_peers(self) -> None:
         if not self.peer_dcs:
             return
-        ping = DCSyncPing(self.state_vector.to_dict())
+        ping = DCSyncPing(self.state_vector.to_dict(),
+                          self.stable_vector.to_dict())
         for dc in self.peer_dcs:
             self.send(dc, ping)
 
@@ -585,6 +637,33 @@ class DataCenter(Actor):
                               size_bytes=txn.byte_size())
                     resent += 1
             ts += 1
+        self._reack_held(msg, sender)
+
+    def _reack_held(self, msg: DCSyncPing, sender: str) -> None:
+        """Stability anti-entropy: re-ack held dots the peer still
+        tracks as unstable.
+
+        StabilityAck gossip is fire-and-forget; if the ack carrying
+        "we hold X" is lost, the peer's K-stability frontier for X
+        stalls *forever* — both DCs store the transaction, so the
+        transaction-resend path above never fires, and no stable push
+        ever reaches the peer's edges.  The sender's stable vector on
+        the ping tells us exactly which prefix still lacks acks.
+        """
+        peer_stable = msg.stable_vector or {}
+        reacked = 0
+        for origin_dc, stream in self._stream_dots.items():
+            ts = peer_stable.get(origin_dc, 0) + 1
+            top = self.state_vector[origin_dc]
+            while ts <= top and reacked < self.SYNC_BATCH:
+                dot = stream.get(ts)
+                ts += 1
+                if dot is None or not self.dots.seen(dot):
+                    continue
+                holders = frozenset(self.kstab.holders(dot)
+                                    | {self.node_id})
+                self.send(sender, StabilityAck(dot.to_dict(), holders))
+                reacked += 1
 
     def _advance_stability(self) -> None:
         """Move per-stream stable frontiers; push newly stable updates.
@@ -675,6 +754,25 @@ class DataCenter(Actor):
     # ------------------------------------------------------------------
     def transaction(self, dot: Dot) -> Optional[Transaction]:
         return self._txn_by_dot.get(dot)
+
+    def holds(self, dot: Dot) -> bool:
+        """Has this DC received (applied) the transaction?"""
+        return self.dots.seen(dot)
+
+    def state_digest(self) -> Dict[ObjectKey, Any]:
+        """Backend value of every stored key, for convergence checks.
+
+        Reads each shard journal with no visibility filter: at quiescence
+        this is the authoritative merged state every replica must agree
+        with.
+        """
+        digest: Dict[ObjectKey, Any] = {}
+        for shard in self.shards.values():
+            for key in shard.store.keys():
+                journal = shard.store.journal(key)
+                if journal is not None:
+                    digest[key] = journal.materialise(None).value()
+        return digest
 
     @property
     def committed_count(self) -> int:

@@ -142,13 +142,16 @@ class RemoteTxnReply:
 
 @dataclass(frozen=True)
 class DCSyncPing:
-    """Anti-entropy heartbeat: the sender's applied state vector.
+    """Anti-entropy heartbeat: the sender's applied and stable vectors.
 
     A receiver that is *ahead* on its own stream resends the missing
-    suffix, repairing replication after partitions.
+    suffix, repairing replication after partitions.  A receiver that
+    holds transactions past the sender's *stable* frontier re-acks
+    them, repairing K-stability after lost StabilityAck gossip.
     """
 
     state_vector: Dict[str, int]
+    stable_vector: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,29 @@ class TxnStats:
         return self.end - self.start
 
 
+class SessionRead:
+    """One traced transaction completion: the session's read frontier.
+
+    Recorded only while ``trace_sessions`` is enabled (the chaos harness
+    turns it on); the invariant checker replays the log to verify the
+    session guarantees — monotonic reads and read-my-writes.
+    """
+
+    __slots__ = ("time", "started_at", "node_vector", "snapshot_vector",
+                 "local_deps", "own_before", "aborted")
+
+    def __init__(self, time: float, started_at: float,
+                 node_vector: VectorClock, snapshot_vector: VectorClock,
+                 local_deps, own_before: int, aborted: bool):
+        self.time = time
+        self.started_at = started_at
+        self.node_vector = node_vector
+        self.snapshot_vector = snapshot_vector
+        self.local_deps = frozenset(local_deps)
+        self.own_before = own_before
+        self.aborted = aborted
+
+
 class _DotCover:
     """Dep-check view: a dot is covered if journalled here."""
 
@@ -144,6 +167,12 @@ class EdgeNode(Actor):
         self._subscriptions: Dict[ObjectKey,
                                   List[Callable[[ObjectKey], None]]] = {}
         self.txn_stats: List[TxnStats] = []
+        # Invariant-checker instrumentation (see repro.chaos): when
+        # enabled, every finished transaction logs its read frontier and
+        # every local commit logs its dot with a timestamp.
+        self.trace_sessions = False
+        self.session_log: List[SessionRead] = []
+        self._own_commit_log: List[Tuple[Dot, float]] = []
         self.on_session_change: Optional[Callable[[bool], None]] = None
         # Migrated (in-DC) transactions awaiting their reply (section 3.9).
         self._next_remote_request = 0
@@ -311,10 +340,14 @@ class EdgeNode(Actor):
         if seed_vector is not None:
             previous_cut = self._key_cut.get(key, VectorClock.zero())
             self._key_cut[key] = previous_cut.merge(seed_vector)
-        # Our next dots must order after everything folded into the seed,
-        # so that dot order keeps extending happened-before.
+        # Everything folded into the seed base is part of this node's
+        # state: the Lamport clock must order after it, and the dot
+        # tracker must cover it — a child declaring one of these dots as
+        # a session dependency would otherwise be refused as causally
+        # incompatible even though we hold the (folded) transaction.
         for dot in journal.base_dots:
             self.lamport.observe(dot.counter)
+            self.dots.observe(dot)
         previous = self.cache.store.journal(key)
         self.cache.store.drop(key)
         self.cache.store._journals[key] = journal  # noqa: SLF001
@@ -389,7 +422,22 @@ class EdgeNode(Actor):
         self.unacked.pop(dot, None)
 
     def _retry_unacked(self) -> None:
-        if self.offline or not self.session_open or not self.unacked:
+        if self.offline:
+            return
+        if not self.session_open:
+            # A lost SessionOpen (or one sent into a partition during a
+            # migration) would otherwise stall the session forever: the
+            # new DC does not know this node exists, so no keepalive ever
+            # triggers gap recovery.  Re-opening is idempotent — the DC
+            # re-seeds and the edge installs seeds monotonically.
+            self.connect()
+            return
+        self._retry_fetches()
+        for request_id in list(self._remote_pending):
+            # Lost remote requests/replies; the DC dedupes by
+            # (client, request_id), so resending is at-most-once.
+            self._send_remote(request_id)
+        if not self.unacked:
             return
         if self.writeback_ms is not None:
             self._flush_writeback()
@@ -397,6 +445,15 @@ class EdgeNode(Actor):
         for txn in self.unacked.values():
             self.send(self.connected_dc, EdgeCommit(txn.to_dict()),
                       size_bytes=txn.byte_size())
+
+    def _retry_fetches(self) -> None:
+        """Re-drive object fetches whose request or response was lost."""
+        for key, waiting in list(self._pending_fetches.items()):
+            if not waiting:
+                continue
+            type_name = self._interest_types.get(key)
+            if type_name is not None:
+                self.fetch_object(key, type_name, waiting[0].ctx)
 
     def _flush_writeback(self) -> None:
         """Writeback policy: ship the buffered commits as one batch."""
@@ -467,6 +524,39 @@ class EdgeNode(Actor):
         return state.value()
 
     # ------------------------------------------------------------------
+    # replica introspection (invariant checking, see repro.chaos)
+    # ------------------------------------------------------------------
+    def state_digest(self) -> Dict[ObjectKey, Any]:
+        """Visible value of every warm key, for convergence checks."""
+        digest: Dict[ObjectKey, Any] = {}
+        for key, type_name in self._interest_types.items():
+            if key in self._warm:
+                digest[key] = self.read_value(key, type_name)
+        return digest
+
+    def exposed_dots(self) -> Set[Dot]:
+        """Foreign dots this replica treats as stable (covered) state.
+
+        Everything journalled here, minus transactions still pending as
+        local/uncovered (visible only through read-my-writes or the SI
+        zone of a peer group) and minus the node's own commits.  The
+        K-stability invariant requires each of these to be replicated at
+        >= K data centres.
+        """
+        return {dot for dot in self.dots.observed_dots()
+                if dot.origin != self.node_id
+                and dot not in self._uncovered}
+
+    def own_transaction(self, dot: Dot) -> Optional[Transaction]:
+        return self._txn_by_dot.get(dot)
+
+    @property
+    def pipeline_idle(self) -> bool:
+        """Nothing in flight from this node (quiescence probe)."""
+        return (not self.unacked and not self._pending_fetches
+                and not self._remote_pending)
+
+    # ------------------------------------------------------------------
     # interactive transactions (generator protocol)
     # ------------------------------------------------------------------
     def run_transaction(self, body: Callable[[TransactionContext], Any],
@@ -477,6 +567,10 @@ class EdgeNode(Actor):
         """Execute ``body`` (a generator function) as a transaction."""
         ctx = TransactionContext(self.current_snapshot())
         ctx.started_at = self.now
+        if self.trace_sessions:
+            # Own commits before this point must be in the snapshot
+            # (read-my-writes); the checker slices the commit log here.
+            ctx.own_before = len(self._own_commit_log)
         gen = body(ctx)
         if not hasattr(gen, "send"):
             raise TypeError("transaction bodies must be generator"
@@ -564,6 +658,8 @@ class EdgeNode(Actor):
             # Restart with a fresh snapshot that covers the fetched state:
             # every read of the retried body sees one consistent cut.
             running.restart(self.current_snapshot())
+            if self.trace_sessions:
+                running.ctx.own_before = len(self._own_commit_log)
             self._step_txn(running, first=True)
 
     # ------------------------------------------------------------------
@@ -587,6 +683,8 @@ class EdgeNode(Actor):
         self.cache.apply_transaction(txn)
         self._uncovered[dot] = txn       # read-my-writes
         self.unacked[dot] = txn
+        if self.trace_sessions:
+            self._own_commit_log.append((dot, self.now))
         if self.session_open and not self.offline \
                 and self.writeback_ms is None:
             self.send(self.connected_dc, EdgeCommit(txn.to_dict()),
@@ -607,6 +705,11 @@ class EdgeNode(Actor):
         stats = TxnStats(ctx.started_at, self.now, ctx.served_by,
                          ctx.is_read_only, aborted)
         self.txn_stats.append(stats)
+        if self.trace_sessions:
+            self.session_log.append(SessionRead(
+                self.now, ctx.started_at, self.vector,
+                ctx.snapshot.vector, ctx.snapshot.local_deps,
+                getattr(ctx, "own_before", 0), aborted))
         return stats
 
     # ------------------------------------------------------------------

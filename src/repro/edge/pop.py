@@ -152,7 +152,9 @@ class PoPNode(EdgeNode):
             self.send(msg.edge_id, ObjectResponse(
                 self._seed_state(key), self.vector.to_dict()))
             return
-        self._child_fetches.setdefault(key, []).append(msg.edge_id)
+        waiting = self._child_fetches.setdefault(key, [])
+        if msg.edge_id not in waiting:  # retried fetches register once
+            waiting.append(msg.edge_id)
         self.declare_interest(key, msg.type_name)
         if self.session_open and not self.offline:
             self.send(self.connected_dc,
@@ -215,3 +217,8 @@ class PoPNode(EdgeNode):
                 for child in self._child_fetches.pop(key):
                     self.send(child, ObjectResponse(
                         self._seed_state(key), self.vector.to_dict()))
+
+    @property
+    def pipeline_idle(self) -> bool:
+        return (super().pipeline_idle and not self._child_fetches
+                and not self._child_unseeded)

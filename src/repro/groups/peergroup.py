@@ -96,6 +96,8 @@ class GroupMember(EdgeNode):
         self._own_instances: Dict[InstanceId, float] = {}
         self._blocked_since: Dict[InstanceId, float] = {}
         self._pull_pending: Dict[Dot, float] = {}
+        # Last time we asked the sync point for a lost commit stamp.
+        self._ack_pull_at: Dict[Dot, float] = {}
         self._last_resync = -1e9
         # Vector advancement gating across fetch replies (see
         # _note_reply_vector).
@@ -127,6 +129,17 @@ class GroupMember(EdgeNode):
         # order; the base per-node retry would break that order.
         if not self.in_group:
             super()._retry_unacked()
+            return
+        if self.offline:
+            return
+        if self.is_parent and not self.session_open:
+            # Re-open a session lost to the network (see EdgeNode); the
+            # ship queue resumes once the ack lands.
+            self.connect()
+            return
+        # Fetches lost on the peer network (or to the parent's DC leg)
+        # are re-driven; GroupFetch/seed installs are idempotent.
+        self._retry_fetches()
 
     def _resend_pending(self, dc_id: str) -> None:
         if not self.in_group:
@@ -494,14 +507,22 @@ class GroupMember(EdgeNode):
         cut; the global vector waits until a full warm-set resync
         confirms completeness.
         """
+        if self._resync_expect:
+            # Every reply settles its key, even one that taught us
+            # nothing (pushes may have advanced our vector past the
+            # reply's cut while it was in flight) — otherwise the
+            # resync never completes and the pipeline never drains.
+            self._resync_expect.discard(key)
+            if not reply_vector.leq(self.vector):
+                self._pending_vector = \
+                    self._pending_vector.merge(reply_vector)
+            if not self._resync_expect \
+                    and not self._pending_vector.leq(self.vector):
+                self._advance_vector(self._pending_vector)
+            return
         if reply_vector.leq(self.vector):
             return
         self._pending_vector = self._pending_vector.merge(reply_vector)
-        if self._resync_expect:
-            self._resync_expect.discard(key)
-            if not self._resync_expect:
-                self._advance_vector(self._pending_vector)
-            return
         expect = (set(self._warm) | set(self._pending_fetches)) - {key}
         if not expect:
             self._advance_vector(self._pending_vector)
@@ -596,12 +617,28 @@ class GroupMember(EdgeNode):
         for txn_dict in msg.txns:
             txn = Transaction.from_dict(txn_dict)
             self._pull_pending.pop(txn.dot, None)
+            known = self._txn_by_dot.get(txn.dot)
+            if known is not None:
+                # A pushed copy may carry a commit stamp we missed (the
+                # ack relay can be lost): adopt it.
+                for dc, ts in txn.commit.entries.items():
+                    if dc not in known.commit.entries:
+                        known.commit.add_entry(dc, ts)
+                if not known.commit.is_symbolic:
+                    self.unacked.pop(txn.dot, None)
             self.integrate_foreign_txn(txn)
         self._drain_exec_queue()
 
     # ------------------------------------------------------------------
     # group connectivity injection (benchmark scenarios)
     # ------------------------------------------------------------------
+    @property
+    def pipeline_idle(self) -> bool:
+        """Group pipelines drained too (chaos-harness quiescence probe)."""
+        return (super().pipeline_idle and not self._exec_queue
+                and not self._ship_queue and not self._pull_pending
+                and not self._psi_pending and not self._resync_expect)
+
     def disconnect_from_group(self) -> None:
         """Drop out of the group's network (Figure 6 scenario)."""
         self.group_offline = True
@@ -636,6 +673,36 @@ class GroupMember(EdgeNode):
         for instance_id in list(self._blocked_since):
             if instance_id not in blocked:
                 del self._blocked_since[instance_id]
+        # Unacked commits: a stamp resolved through a relay or stable
+        # push just needs dropping; one still symbolic after a lost
+        # GroupCommitAck is re-queried from the sync point, whose copy
+        # carries the resolved stamp (served via the pull path).
+        for dot, txn in list(self.unacked.items()):
+            if not txn.commit.is_symbolic:
+                del self.unacked[dot]
+            elif not self.is_parent:
+                last = self._ack_pull_at.get(dot, -1e9)
+                if now - last > self.RECOVER_AFTER_MS:
+                    self._ack_pull_at[dot] = now
+                    self.send(self.parent_id,
+                              TxnPull(self.node_id, (dot.to_dict(),)))
+        # Stale pulls: a dependency that arrived via another path (relay,
+        # resync, stable push) leaves its pull entry behind, and a pull
+        # or push lost to churn would stall forever.  Drop satisfied
+        # entries; re-drive the rest.
+        for dot in [d for d in self._pull_pending if self.dots.seen(d)]:
+            del self._pull_pending[dot]
+        stale = [d for d, at in self._pull_pending.items()
+                 if now - at > self.RESEND_AFTER_MS]
+        if stale:
+            for dot in stale:
+                self._pull_pending[dot] = now
+            targets = [self.parent_id] if not self.is_parent else \
+                [m for m in self.members if m != self.node_id][:2]
+            pull = TxnPull(self.node_id,
+                           tuple(d.to_dict() for d in stale))
+            for target in targets:
+                self.send(target, pull)
         # Re-drive a stalled warm-set resync (lost fetch replies).
         if self._resync_expect and now - self._resync_started > 1500.0 \
                 and not self.group_offline:

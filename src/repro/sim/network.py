@@ -49,13 +49,28 @@ CELLULAR = LatencyModel(CELLULAR_LATENCY_MS, 10.0)
 
 
 class NetworkStats:
-    """Aggregate counters for benchmark reporting."""
+    """Aggregate counters for benchmark reporting.
+
+    Drops are also attributed to the directed link they occurred on, so
+    fault-injection reports can say *which* link lost the messages rather
+    than only how many disappeared overall.
+    """
 
     def __init__(self) -> None:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.bytes_sent = 0
+        self.drops_by_link: Dict[Tuple[str, str], int] = {}
+
+    def record_drop(self, src: str, dst: str) -> None:
+        self.messages_dropped += 1
+        link = (src, dst)
+        self.drops_by_link[link] = self.drops_by_link.get(link, 0) + 1
+
+    def dropped_on(self, src: str, dst: str) -> int:
+        """Messages dropped on the directed link ``src -> dst``."""
+        return self.drops_by_link.get((src, dst), 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"NetworkStats(sent={self.messages_sent},"
@@ -138,11 +153,11 @@ class Network:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size_bytes
         if not self.is_reachable(src, dst):
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(src, dst)
             return False
         rate = self._loss_rate.get((src, dst), 0.0)
         if rate and self._rng.random() < rate:
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(src, dst)
             return False
         model = self._links.get((src, dst), self._default)
         latency = model.sample(self._rng)
@@ -158,11 +173,11 @@ class Network:
         # Check reachability again at delivery time: a partition that
         # appeared while the message was in flight kills it (TCP reset).
         if not self.is_reachable(src, dst):
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(src, dst)
             return
         handler = self._handlers.get(dst)
         if handler is None:
-            self.stats.messages_dropped += 1
+            self.stats.record_drop(src, dst)
             return
         self.stats.messages_delivered += 1
         handler(message, src)

@@ -1,0 +1,53 @@
+"""End-to-end chaos scenarios: every topology, replayable seeds."""
+
+import pytest
+
+from repro.chaos.runner import (TOPOLOGIES, ScenarioConfig, run_scenario,
+                                run_suite)
+from repro.chaos.schedule import FaultEvent
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_seeded_scenario_passes(topology):
+    config = ScenarioConfig(topology=topology, seed=0, n_txns=12,
+                            window_ms=3000.0, max_faults=4)
+    result = run_scenario(config)
+    assert result.ok, [str(v) for v in result.violations]
+    assert result.converged
+    assert result.faults_injected > 0
+
+
+def test_same_seed_replays_identically():
+    """The acceptance property: (seed, schedule) -> identical outcome."""
+    config = ScenarioConfig(topology="group", seed=3, n_txns=10,
+                            window_ms=2500.0, max_faults=4)
+    first = run_scenario(config)
+    second = run_scenario(config)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_explicit_schedule_replay():
+    """A saved failing schedule re-runs exactly (the --replay path)."""
+    schedule = [
+        FaultEvent(1400.0, "partition", ("dc0", "dc1"), duration=800.0),
+        FaultEvent(1900.0, "offline", ("far",), duration=600.0),
+    ]
+    config = ScenarioConfig(topology="group", seed=5, n_txns=10,
+                            window_ms=2500.0)
+    first = run_scenario(config, schedule=schedule)
+    second = run_scenario(config, schedule=schedule)
+    assert first.to_dict() == second.to_dict()
+    assert first.faults_injected == 2
+
+
+def test_run_suite_report_shape():
+    report = run_suite([0], ["group"],
+                       config_kwargs={"n_txns": 8, "window_ms": 2000.0},
+                       shrink=False)
+    assert report["benchmark"] == "chaos_harness"
+    assert report["totals"]["scenarios"] == 1
+    assert report["totals"]["passed"] == 1
+    assert report["ok"] is True
+    (scenario,) = report["scenarios"]
+    assert scenario["topology"] == "group"
+    assert scenario["checkpoints_run"] > 0

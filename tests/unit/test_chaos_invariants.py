@@ -1,0 +1,50 @@
+"""The invariant checker: violation plumbing and planted-bug detection."""
+
+from repro.chaos.invariants import InvariantViolation
+from repro.chaos.runner import ScenarioConfig, run_scenario, self_check
+
+
+class TestInvariantViolation:
+    def test_str_and_dict(self):
+        violation = InvariantViolation("dot-uniqueness", "e0",
+                                       "k applied twice", 1234.5)
+        assert "dot-uniqueness" in str(violation)
+        assert "e0" in str(violation)
+        data = violation.to_dict()
+        assert data == {"invariant": "dot-uniqueness", "node": "e0",
+                        "detail": "k applied twice", "time": 1234.5}
+
+
+class TestHealthyRun:
+    def test_fault_free_scenario_passes(self):
+        config = ScenarioConfig(topology="group", seed=0, n_txns=8,
+                                window_ms=2000.0)
+        result = run_scenario(config, schedule=[])
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.converged
+        assert result.txns_committed > 0
+        assert result.faults_injected == 0
+
+    def test_result_serialises(self):
+        config = ScenarioConfig(topology="group", seed=1, n_txns=6,
+                                window_ms=1500.0)
+        data = run_scenario(config, schedule=[]).to_dict()
+        assert data["topology"] == "group"
+        assert data["seed"] == 1
+        assert data["ok"] is True
+        assert data["schedule"] == []
+
+
+class TestPlantedBug:
+    def test_dot_duplication_is_caught(self):
+        # The acceptance gate: a far edge that re-journals a pushed
+        # transaction past the dedup index MUST be flagged, and the
+        # failing seed must be reported for replay.
+        caught, result = self_check(0)
+        assert caught
+        assert any(v.invariant == "dot-uniqueness"
+                   for v in result.violations)
+        violation = next(v for v in result.violations
+                         if v.invariant == "dot-uniqueness")
+        assert violation.node == "far"
+        assert result.config.seed == 0

@@ -1,0 +1,138 @@
+"""The fault-schedule engine: determinism, injection, healing."""
+
+from repro.chaos.schedule import (FAULT_KINDS, FaultEvent, FaultInjector,
+                                  FaultSpec, generate_schedule)
+from repro.sim import LatencyModel, Simulation
+
+
+def _spec():
+    return FaultSpec(
+        wan_links=[("dc0", "dc1")],
+        access_links=[("e0", "dc0")],
+        blackout_nodes=["e0"],
+        offline_nodes=["e0"],
+        churn_nodes=["m1"],
+        migrations={"e0": ["dc1"]},
+        dcs=["dc0", "dc1"])
+
+
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        a = generate_schedule(42, _spec(), start=1000.0, window=5000.0)
+        b = generate_schedule(42, _spec(), start=1000.0, window=5000.0)
+        assert [e.to_dict() for e in a] == [e.to_dict() for e in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_schedule(1, _spec(), start=0.0, window=5000.0)
+        b = generate_schedule(2, _spec(), start=0.0, window=5000.0)
+        assert [e.to_dict() for e in a] != [e.to_dict() for e in b]
+
+    def test_events_within_window_and_sorted(self):
+        events = generate_schedule(7, _spec(), start=500.0, window=4000.0)
+        assert events
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(500.0 <= t <= 4500.0 for t in times)
+        assert all(e.kind in FAULT_KINDS for e in events)
+
+    def test_empty_spec_yields_no_events(self):
+        assert generate_schedule(3, FaultSpec(), start=0.0,
+                                 window=1000.0) == []
+
+    def test_roundtrip_serialisation(self):
+        events = generate_schedule(9, _spec(), start=0.0, window=3000.0)
+        for event in events:
+            clone = FaultEvent.from_dict(event.to_dict())
+            assert clone.to_dict() == event.to_dict()
+
+
+class _FakeGroupNode:
+    def __init__(self):
+        self.offline = False
+        self.group_offline = False
+        self.dc = "dc0"
+
+    def go_offline(self):
+        self.offline = True
+
+    def go_online(self):
+        self.offline = False
+
+    def migrate_to(self, dc_id):
+        self.dc = dc_id
+
+    def disconnect_from_group(self):
+        self.group_offline = True
+
+    def reconnect_to_group(self):
+        self.group_offline = False
+
+
+class TestFaultInjector:
+    def _world(self):
+        sim = Simulation(seed=1, default_latency=LatencyModel(5.0))
+        node = _FakeGroupNode()
+        injector = FaultInjector(sim, {"e0": node, "m1": node},
+                                 {"dc0": ["dc1"], "dc1": ["dc0"]})
+        return sim, node, injector
+
+    def test_partition_window_applies_and_heals(self):
+        sim, _node, injector = self._world()
+        injector.install([FaultEvent(100.0, "partition",
+                                     ("dc0", "dc1"), duration=200.0)])
+        sim.run_for(150)
+        assert not sim.network.is_reachable("dc0", "dc1")
+        sim.run_for(200)
+        assert sim.network.is_reachable("dc0", "dc1")
+        assert injector.faults_injected == 1
+
+    def test_overlapping_partitions_refcount(self):
+        sim, _node, injector = self._world()
+        injector.install([
+            FaultEvent(100.0, "partition", ("dc0", "dc1"),
+                       duration=200.0),
+            FaultEvent(150.0, "partition", ("dc0", "dc1"),
+                       duration=400.0)])
+        sim.run_for(320)  # first window over, second still active
+        assert not sim.network.is_reachable("dc0", "dc1")
+        sim.run_for(300)
+        assert sim.network.is_reachable("dc0", "dc1")
+
+    def test_offline_and_churn_toggle_node_state(self):
+        sim, node, injector = self._world()
+        injector.install([
+            FaultEvent(50.0, "offline", ("e0",), duration=100.0),
+            FaultEvent(300.0, "churn", ("m1",), duration=100.0)])
+        sim.run_for(100)
+        assert node.offline
+        sim.run_for(100)
+        assert not node.offline
+        sim.run_for(150)
+        assert node.group_offline
+        sim.run_for(150)
+        assert not node.group_offline
+
+    def test_heal_all_reverts_everything(self):
+        sim, node, injector = self._world()
+        injector.install([
+            FaultEvent(50.0, "partition", ("dc0", "dc1"),
+                       duration=100000.0),
+            FaultEvent(50.0, "dc_isolate", ("dc1",), duration=100000.0),
+            FaultEvent(50.0, "offline", ("e0",), duration=100000.0),
+            FaultEvent(50.0, "loss", ("e0", "dc0"), rate=0.9,
+                       duration=100000.0)])
+        sim.run_for(100)
+        assert not sim.network.is_reachable("dc0", "dc1")
+        assert node.offline
+        injector.heal_all()
+        assert sim.network.is_reachable("dc0", "dc1")
+        assert not node.offline
+        # The late revert events are no-ops after heal_all.
+        sim.run_for(200000)
+        assert sim.network.is_reachable("dc0", "dc1")
+
+    def test_migrate_is_instantaneous(self):
+        sim, node, injector = self._world()
+        injector.install([FaultEvent(10.0, "migrate", ("e0", "dc1"))])
+        sim.run_for(20)
+        assert node.dc == "dc1"
