@@ -1,0 +1,23 @@
+"""colony-lint: AST-based protocol-invariant analyzer.
+
+Checks the colony reproduction for the properties its correctness
+argument quietly assumes: deterministic protocol code (replayable chaos
+schedules), immutable messages, full handler coverage, vector-clock
+discipline, and the absence of cross-actor aliasing through message
+payloads.
+
+Run it as a module::
+
+    PYTHONPATH=src python -m repro.analysis src
+
+See DESIGN.md section 10 for the rule catalogue and the
+baseline/suppression workflow.
+"""
+
+from .core import (Finding, Module, Project, Rule, load_baseline,
+                   run_rules, split_baselined, write_baseline)
+from .rules import ALL_RULES
+
+__all__ = ["ALL_RULES", "Finding", "Module", "Project", "Rule",
+           "load_baseline", "run_rules", "split_baselined",
+           "write_baseline"]

@@ -1,0 +1,130 @@
+"""colony-lint CLI.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis [paths...]
+        [--baseline FILE] [--write-baseline] [--json] [--report FILE]
+        [--self-check] [--list-rules]
+
+Exit codes: 0 — clean (or every finding baselined); 1 — new findings
+(or a *successful* self-check, which proves the analyzer fires); 2 —
+analyzer error or a failed self-check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Sequence
+
+from .core import (DEFAULT_BASELINE, Finding, Project, load_baseline,
+                   run_rules, split_baselined, write_baseline)
+from .rules import ALL_RULES
+from .selfcheck import run_self_check
+
+
+def _report_payload(paths: Sequence[str], fresh: Sequence[Finding],
+                    baselined: Sequence[Finding]) -> dict:
+    counts: dict = {}
+    for finding in fresh:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "tool": "colony-lint",
+        "version": 1,
+        "paths": list(paths),
+        "counts": counts,
+        "new_findings": [f.to_dict() for f in fresh],
+        "baselined_count": len(baselined),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="colony-lint: AST-based protocol-invariant "
+                    "analyzer (determinism, message hygiene, handler "
+                    "coverage, vector discipline, aliasing).")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories to analyse "
+                             "(default: src)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=DEFAULT_BASELINE,
+                        help="baseline file of grandfathered finding "
+                             f"fingerprints (default: {DEFAULT_BASELINE})")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write all current findings to the "
+                             "baseline file and exit 0")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the JSON report on stdout instead "
+                             "of human-readable lines")
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run against planted violations; exit 1 "
+                             "if all are reported, 2 if any is missed")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule codes and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name}:")
+            for code in sorted(rule.codes):
+                print(f"  {code}  {rule.codes[code]}")
+        return 0
+
+    if args.self_check:
+        return run_self_check(sys.stdout)
+
+    paths = args.paths or ["src"]
+    try:
+        project = Project.from_paths(paths)
+    except (OSError, SyntaxError) as exc:
+        print(f"colony-lint: error building project: {exc}",
+              file=sys.stderr)
+        return 2
+    if not project.modules:
+        print(f"colony-lint: no Python files under {paths}",
+              file=sys.stderr)
+        return 2
+
+    findings = run_rules(project, ALL_RULES)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"colony-lint: wrote {len(findings)} fingerprint(s) to "
+              f"{baseline_path}")
+        return 0
+
+    fingerprints: set = set()
+    if baseline_path.exists():
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"colony-lint: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    fresh, baselined = split_baselined(findings, fingerprints)
+
+    payload = _report_payload(paths, fresh, baselined)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in fresh:
+            print(finding.render())
+        summary: List[str] = [f"{len(fresh)} new finding(s)"]
+        if baselined:
+            summary.append(f"{len(baselined)} baselined")
+        print(f"colony-lint: {', '.join(summary)} across "
+              f"{len(project.modules)} module(s)")
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

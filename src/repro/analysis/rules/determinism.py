@@ -1,0 +1,105 @@
+"""Determinism rules (family D).
+
+The chaos harness replays fault schedules byte-for-byte from
+``(topology, seed)``; every source of ambient nondeterminism in
+protocol code silently breaks that reproducibility.  Protocol decisions
+must use the simulated clock (``loop.now``) and RNGs injected from the
+scenario seed (``random.Random(seed)``), never ambient entropy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..core import Finding, Module, Project, Rule
+
+#: Wall-clock reads: sim code must use ``loop.now`` / ``actor.now``.
+WALLCLOCK = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.localtime",
+    "time.gmtime",
+}
+
+#: Datetime reads (all route to the wall clock).
+DATETIME = {
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "datetime.now",
+    "datetime.utcnow", "datetime.today", "date.today",
+}
+
+#: Ambient-entropy identifiers (uuid1 embeds wall clock + MAC).
+ENTROPY = {"uuid.uuid4", "uuid.uuid1", "os.urandom", "os.getrandom",
+           "random.SystemRandom"}
+
+ENTROPY_PREFIXES = ("secrets.",)
+
+#: ``random.<fn>()`` module-level calls share one hidden global RNG
+#: seeded from the OS; only the ``random.Random`` class itself may be
+#: referenced (to build injected, seeded instances).
+RANDOM_MODULE_OK = {"random.Random"}
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    codes = {
+        "D101": "wall-clock read (time.*) in protocol code",
+        "D102": "datetime/date wall-clock read in protocol code",
+        "D103": "ambient entropy (uuid/urandom/secrets/SystemRandom)",
+        "D105": "module-level random.* call (hidden global RNG)",
+        "D106": "unseeded random.Random() (seed it from the scenario)",
+        "D107": "builtin hash() outside __hash__ is "
+                "PYTHONHASHSEED-sensitive",
+    }
+
+    def check_module(self, module: Module,
+                     project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def emit(code: str, node: ast.AST, message: str) -> None:
+            findings.append(Finding(
+                code, module.path, node.lineno, node.col_offset,
+                message, module.qualname(node)))
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # -- builtin hash() ------------------------------------------
+            if isinstance(func, ast.Name) and func.id == "hash" \
+                    and func.id not in module.imports:
+                qual = module.qualname(node)
+                if not qual.endswith("__hash__"):
+                    emit("D107", node,
+                         "builtin hash() depends on PYTHONHASHSEED; "
+                         "use a content hash (hashlib) or sort keys "
+                         "explicitly")
+                continue
+            dotted = module.resolve(func)
+            if dotted is None:
+                continue
+            if dotted in WALLCLOCK:
+                emit("D101", node,
+                     f"wall-clock read {dotted}(); use the sim clock "
+                     "(loop.now / actor.now)")
+            elif dotted in DATETIME:
+                emit("D102", node,
+                     f"wall-clock read {dotted}(); use the sim clock")
+            elif dotted in ENTROPY or any(
+                    dotted.startswith(p) for p in ENTROPY_PREFIXES):
+                emit("D103", node,
+                     f"ambient entropy {dotted}(); derive ids/bytes "
+                     "from the scenario seed")
+            elif dotted.startswith("random.") \
+                    and dotted not in RANDOM_MODULE_OK:
+                emit("D105", node,
+                     f"module-level {dotted}() uses the hidden global "
+                     "RNG; call methods on an injected "
+                     "random.Random(seed)")
+            elif dotted == "random.Random" and not node.args \
+                    and not node.keywords:
+                emit("D106", node,
+                     "random.Random() without a seed is entropy-"
+                     "seeded; pass a seed derived from the scenario")
+        return findings

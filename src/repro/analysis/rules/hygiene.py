@@ -1,0 +1,128 @@
+"""Message-hygiene rules (family M).
+
+Messages are values: the simulated network passes them *by reference*,
+so any mutable state riding a message is shared between sender and
+receiver — a cross-actor data race waiting to happen.  Every dataclass
+in a ``messages.py`` module must be frozen, must only carry
+immutable/serialisable field types, and mutable containers (dicts)
+handed to a message constructor must be freshly built or copied at the
+call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..core import (CAT_BANNED, CAT_DICT, CAT_UNKNOWN, Finding, Module,
+                    Project, Rule, function_params, root_name)
+
+
+def _freshness(node: ast.AST, params: "set[str]") -> Optional[str]:
+    """None when the expression is evidently fresh; otherwise a short
+    reason why it may alias shared state."""
+    if isinstance(node, (ast.Constant, ast.Dict, ast.DictComp,
+                         ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                         ast.Call, ast.Tuple, ast.List, ast.Set,
+                         ast.Compare, ast.Lambda, ast.JoinedStr)):
+        return None
+    if isinstance(node, ast.IfExp):
+        return _freshness(node.body, params) \
+            or _freshness(node.orelse, params)
+    if isinstance(node, ast.BoolOp):
+        for value in node.values:
+            reason = _freshness(value, params)
+            if reason:
+                return reason
+        return None
+    if isinstance(node, ast.Name):
+        if node.id == "self":
+            return "actor state (self)"
+        if node.id in params:
+            return f"parameter {node.id!r}"
+        return None  # a local binding: assumed fresh
+    if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        root = root_name(node)
+        if root == "self":
+            return "actor state (self.…)"
+        if root is not None and root in params:
+            return f"state reachable from parameter {root!r}"
+        return "attribute/subscript of shared object"
+    return None
+
+
+class MessageHygieneRule(Rule):
+    name = "message-hygiene"
+    codes = {
+        "M201": "message dataclass must be frozen=True",
+        "M202": "message field type must be immutable/serialisable",
+        "M203": "mutable container passed into a message constructor "
+                "without a copy",
+    }
+
+    # -- per messages.py module -------------------------------------------
+    def check_module(self, module: Module,
+                     project: Project) -> Iterable[Finding]:
+        if not module.path.endswith("messages.py"):
+            return ()
+        findings: List[Finding] = []
+        for cls in project.message_classes.values():
+            if cls.module is not module:
+                continue
+            if not cls.frozen:
+                findings.append(Finding(
+                    "M201", module.path, cls.node.lineno,
+                    cls.node.col_offset,
+                    f"message dataclass {cls.name} is not frozen=True "
+                    "(messages must be immutable values)", cls.name))
+            for stmt in cls.node.body:
+                if not (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)):
+                    continue
+                category = cls.fields.get(stmt.target.id)
+                if category in (CAT_BANNED, CAT_UNKNOWN):
+                    label = "mutable container" if category == CAT_BANNED \
+                        else "non-serialisable/unresolvable type"
+                    findings.append(Finding(
+                        "M202", module.path, stmt.lineno,
+                        stmt.col_offset,
+                        f"field {cls.name}.{stmt.target.id} has a "
+                        f"{label} annotation "
+                        f"{ast.unparse(stmt.annotation)}; use "
+                        "tuple/frozenset/dict-of-scalars forms",
+                        f"{cls.name}.{stmt.target.id}"))
+        return findings
+
+    # -- constructor call sites, anywhere in the tree ---------------------
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        if not project.message_classes:
+            return ()
+        findings: List[Finding] = []
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                cls = project.lookup_message(module, node.func)
+                if cls is None:
+                    continue
+                params = function_params(
+                    module.enclosing_function(node))
+                params.discard("self")
+                # Map arguments onto fields.
+                pairs = list(zip(cls.field_order, node.args))
+                pairs += [(kw.arg, kw.value) for kw in node.keywords
+                          if kw.arg is not None]
+                for field_name, value in pairs:
+                    if cls.fields.get(field_name) != CAT_DICT:
+                        continue
+                    reason = _freshness(value, params)
+                    if reason is None:
+                        continue
+                    findings.append(Finding(
+                        "M203", module.path, value.lineno,
+                        value.col_offset,
+                        f"{cls.name}.{field_name} receives "
+                        f"{ast.unparse(value)} ({reason}); copy it "
+                        "(dict(...)/.to_dict()) so the message cannot "
+                        "alias live state", module.qualname(node)))
+        return findings

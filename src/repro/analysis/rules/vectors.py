@@ -1,0 +1,99 @@
+"""Vector-clock discipline rules (family V).
+
+Colony's causal-consistency argument (TCC+, sections 3.3-3.4) rests on
+vector timestamps being *values* that move only through the lattice
+operations of :mod:`repro.core.clock` — ``merge``, ``advance``,
+``leq``.  Raw subscript mutation of a vector (or reaching into the
+``VectorClock`` internals) can move a component backwards or skip the
+monotonicity check, silently breaking every invariant built on top
+(K-stability frontiers, push-gap detection, snapshot coverage).
+
+Outside the designated core module, anything whose name looks like a
+vector timestamp (``…vector``, ``…clock``, ``vc``) must be treated as
+immutable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional
+
+from ..core import Finding, Module, Project, Rule
+
+#: The one module allowed to implement vector internals.
+CORE_VECTOR_MODULES = ("repro.core.clock",)
+
+_VECTOR_NAME = re.compile(r"(^|_)(vector|clock|vc)$", re.IGNORECASE)
+
+#: dict-mutators: calling any of these on a vector-shaped object writes
+#: a component in place instead of deriving a new clock.
+MUTATING_METHODS = {"update", "setdefault", "pop", "popitem", "clear",
+                    "__setitem__", "__delitem__"}
+
+
+def _vector_like(node: ast.AST) -> Optional[str]:
+    """The vector-ish identifier an expression names, if any."""
+    if isinstance(node, ast.Name) and _VECTOR_NAME.search(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) \
+            and _VECTOR_NAME.search(node.attr):
+        return node.attr
+    return None
+
+
+class VectorDisciplineRule(Rule):
+    name = "vector-discipline"
+    codes = {
+        "V401": "raw mutation of a vector timestamp outside "
+                "repro.core.clock",
+        "V402": "access to VectorClock internals (._entries) outside "
+                "repro.core.clock",
+    }
+
+    def check_module(self, module: Module,
+                     project: Project) -> Iterable[Finding]:
+        if module.modname in CORE_VECTOR_MODULES:
+            return ()
+        findings: List[Finding] = []
+
+        def emit(code: str, node: ast.AST, message: str) -> None:
+            findings.append(Finding(
+                code, module.path, node.lineno, node.col_offset,
+                message, module.qualname(node)))
+
+        def check_target(target: ast.AST, verb: str) -> None:
+            if isinstance(target, ast.Subscript):
+                name = _vector_like(target.value)
+                if name is not None:
+                    emit("V401", target,
+                         f"{verb} {ast.unparse(target)} mutates vector "
+                         f"{name!r} in place; derive a new clock with "
+                         "merge()/advance() in repro.core.clock terms")
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    check_target(target, "assignment to")
+            elif isinstance(node, ast.AugAssign):
+                check_target(node.target, "augmented assignment to")
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    check_target(target, "deletion of")
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATING_METHODS:
+                name = _vector_like(node.func.value)
+                if name is not None:
+                    emit("V401", node,
+                         f"{name}.{node.func.attr}(...) mutates a "
+                         "vector timestamp in place; vectors move only "
+                         "through merge()/advance()")
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr == "_entries" \
+                    and _vector_like(node.value) is not None:
+                emit("V402", node,
+                     f"{ast.unparse(node)} reaches into VectorClock "
+                     "internals; use the Mapping interface or "
+                     "to_dict()")
+        return findings

@@ -9,6 +9,7 @@ remove of the same element are concurrent, the remove wins.
 
 from __future__ import annotations
 
+from collections.abc import Hashable
 from typing import Any, Dict, List, Optional, Set
 
 from .base import OpBasedCRDT, Operation, Tag, register_crdt
@@ -16,7 +17,8 @@ from .base import OpBasedCRDT, Operation, Tag, register_crdt
 
 def _hashable(value: Any) -> Any:
     """CRDT set elements must be hashable plain data."""
-    hash(value)
+    if not isinstance(value, Hashable):
+        raise TypeError(f"unhashable type: {type(value).__name__!r}")
     return value
 
 

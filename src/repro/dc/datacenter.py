@@ -279,7 +279,7 @@ class DataCenter(Actor):
 
         def done(states: List[dict]) -> None:
             self.send(sender, ObjectResponse(
-                states[0], seed_vector.to_dict()))
+                dict(states[0]), seed_vector.to_dict()))
 
         self._gather_reads([(key, msg.type_name)], seed_vector, (), done)
 

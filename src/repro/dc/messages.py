@@ -20,7 +20,7 @@ from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 # -- edge/client <-> DC -------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionOpen:
     """Edge node opens (or re-opens after migration) a session."""
 
@@ -32,7 +32,7 @@ class SessionOpen:
     credentials: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionAck:
     dc_id: str
     objects: Tuple[dict, ...]        # journal snapshot states
@@ -41,7 +41,7 @@ class SessionAck:
     reason: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InterestChange:
     edge_id: str
     add: Tuple[Tuple[dict, str], ...] = ()
@@ -50,7 +50,7 @@ class InterestChange:
     state_vector: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectRequest:
     edge_id: str
     key: dict
@@ -58,20 +58,20 @@ class ObjectRequest:
     state_vector: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ObjectResponse:
     object_state: dict
     stable_vector: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EdgeCommit:
     """An edge transaction shipped for (asynchronous) DC commitment."""
 
     txn: dict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EdgeCommitBatch:
     """Several buffered edge transactions shipped together, in commit
     order (the writeback cache policy, section 6.1)."""
@@ -79,7 +79,7 @@ class EdgeCommitBatch:
     txns: Tuple[dict, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitAck:
     """The concrete commit descriptor for a previously symbolic commit."""
 
@@ -87,13 +87,13 @@ class CommitAck:
     entries: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommitReject:
     dot: dict
     reason: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdatePush:
     """K-stable updates for an edge's interest set, in DC commit order.
 
@@ -107,7 +107,7 @@ class UpdatePush:
     prev_vector: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteTxnRequest:
     """A transaction executed *in* the DC (baseline mode or migration §3.9).
 
@@ -129,7 +129,7 @@ class RemoteTxnRequest:
     dot: Optional[dict] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteTxnReply:
     request_id: int
     values: Tuple[Any, ...]
@@ -140,7 +140,7 @@ class RemoteTxnReply:
 
 # -- DC <-> DC ------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DCSyncPing:
     """Anti-entropy heartbeat: the sender's applied and stable vectors.
 
@@ -154,7 +154,7 @@ class DCSyncPing:
     stable_vector: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Replicate:
     """Geo-replication: one committed transaction, shipped in order."""
 
@@ -162,7 +162,7 @@ class Replicate:
     holders: FrozenSet[str]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StabilityAck:
     """Gossip: the sender now also stores the transaction."""
 
@@ -172,44 +172,44 @@ class StabilityAck:
 
 # -- intra-DC (coordinator <-> shard server) ----------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardPrepare:
     txid: int
     txn: dict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardVote:
     txid: int
     ok: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardCommit:
     txid: int
     txn: dict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardAbort:
     txid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardApply:
     """Replicated/edge transaction applied to the owning shard (no 2PC)."""
 
     txn: dict
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardCompactMsg:
     """Fold journalled entries covered by ``frontier`` into base versions."""
 
     frontier: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardRead:
     request_id: int
     key: dict
@@ -220,7 +220,7 @@ class ShardRead:
     extra_dots: Tuple[dict, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardReadReply:
     request_id: int
     object_state: dict

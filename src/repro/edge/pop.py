@@ -158,8 +158,8 @@ class PoPNode(EdgeNode):
         self.declare_interest(key, msg.type_name)
         if self.session_open and not self.offline:
             self.send(self.connected_dc,
-                      ObjectRequest(self.node_id, msg.key, msg.type_name,
-                                    self.vector.to_dict()))
+                      ObjectRequest(self.node_id, dict(msg.key),
+                                    msg.type_name, self.vector.to_dict()))
 
     # ------------------------------------------------------------------
     # upstream-facing: relay acks and pushes down the tree
@@ -198,8 +198,8 @@ class PoPNode(EdgeNode):
                 txn for txn in msg.txns
                 if any(ObjectKey.from_dict(w["key"]) in interest
                        for w in txn["writes"]))
-            self.send(child, UpdatePush(relevant, msg.stable_vector,
-                                        msg.prev_vector))
+            self.send(child, UpdatePush(relevant, dict(msg.stable_vector),
+                                        dict(msg.prev_vector)))
 
     def _on_object_response(self, msg: ObjectResponse, sender: str) -> None:
         super()._on_object_response(msg, sender)

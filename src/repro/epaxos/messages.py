@@ -25,7 +25,7 @@ def initial_ballot(leader: str) -> Ballot:
     return (INITIAL_BALLOT_EPOCH, leader)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreAccept:
     instance: InstanceId
     ballot: Ballot
@@ -34,7 +34,7 @@ class PreAccept:
     deps: FrozenSet[InstanceId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PreAcceptReply:
     instance: InstanceId
     ballot: Ballot
@@ -43,7 +43,7 @@ class PreAcceptReply:
     deps: FrozenSet[InstanceId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Accept:
     instance: InstanceId
     ballot: Ballot
@@ -52,14 +52,14 @@ class Accept:
     deps: FrozenSet[InstanceId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceptReply:
     instance: InstanceId
     ballot: Ballot
     ok: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit:
     instance: InstanceId
     command: Any
@@ -67,7 +67,7 @@ class Commit:
     deps: FrozenSet[InstanceId]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Prepare:
     """Recovery: take over an instance with a higher ballot."""
 
@@ -75,7 +75,7 @@ class Prepare:
     ballot: Ballot
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrepareReply:
     instance: InstanceId
     ballot: Ballot

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupMsg:
     """Envelope for EPaxos messages between group members."""
 
@@ -21,18 +21,18 @@ class GroupMsg:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinGroup:
     node_id: str
     interest: Tuple[Tuple[dict, str], ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeaveGroup:
     node_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MembershipUpdate:
     group_id: str
     epoch: int
@@ -41,7 +41,7 @@ class MembershipUpdate:
     session_key_id: Optional[str] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupSeed:
     """Joining-member bootstrap: committed consensus instances so far."""
 
@@ -53,7 +53,7 @@ class GroupSeed:
     stable_vector: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InterestAnnounce:
     """A member publishes its interest set to the group (section 5.1.2)."""
 
@@ -62,7 +62,7 @@ class InterestAnnounce:
     remove: Tuple[dict, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupFetch:
     """Collaborative-cache read: fetch an object from a neighbour."""
 
@@ -71,7 +71,7 @@ class GroupFetch:
     requester: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupFetchReply:
     key: dict
     object_state: Optional[dict]
@@ -79,7 +79,7 @@ class GroupFetchReply:
     from_cache: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupRelayPush:
     """Sync point relays a DC update push into the group."""
 
@@ -88,7 +88,7 @@ class GroupRelayPush:
     prev_vector: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupCommitAck:
     """Sync point relays a DC commit acknowledgement into the group."""
 
@@ -96,7 +96,7 @@ class GroupCommitAck:
     entries: Dict[str, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnPull:
     """Request missing transactions by dot (section 5.1.2 pull)."""
 
@@ -104,6 +104,6 @@ class TxnPull:
     dots: Tuple[dict, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TxnPushMsg:
     txns: Tuple[dict, ...]

@@ -460,7 +460,7 @@ class GroupMember(EdgeNode):
                 "base_dots": [d.to_dict() for d in sorted(dots)],
             }
             self.send(msg.requester, GroupFetchReply(
-                msg.key, state, vector.to_dict(), True))
+                dict(msg.key), state, vector.to_dict(), True))
             return
         # Not cached here: escalate to the DC on the member's behalf.
         self._member_fetch_waiting.setdefault(key, []).append(msg.requester)
@@ -477,8 +477,8 @@ class GroupMember(EdgeNode):
         waiting = self._member_fetch_waiting.pop(key, [])
         for member in waiting:
             self.send(member, GroupFetchReply(
-                key.to_dict(), msg.object_state,
-                msg.stable_vector, False))
+                key.to_dict(), dict(msg.object_state),
+                dict(msg.stable_vector), False))
 
     def _on_group_fetch_reply(self, msg: GroupFetchReply,
                               sender: str) -> None:
@@ -541,8 +541,8 @@ class GroupMember(EdgeNode):
     def _on_update_push(self, msg: UpdatePush, sender: str) -> None:
         super()._on_update_push(msg, sender)
         if self.is_parent and self.in_group and not self.group_offline:
-            relay = GroupRelayPush(msg.txns, msg.stable_vector,
-                                   msg.prev_vector)
+            relay = GroupRelayPush(msg.txns, dict(msg.stable_vector),
+                                   dict(msg.prev_vector))
             for member in self.members:
                 if member != self.node_id:
                     self.send(member, relay)
@@ -550,7 +550,8 @@ class GroupMember(EdgeNode):
 
     def _on_relay_push(self, msg: GroupRelayPush, sender: str) -> None:
         super()._on_update_push(
-            UpdatePush(msg.txns, msg.stable_vector, msg.prev_vector),
+            UpdatePush(msg.txns, dict(msg.stable_vector),
+                       dict(msg.prev_vector)),
             sender)
         self._drain_exec_queue()
 
@@ -584,7 +585,7 @@ class GroupMember(EdgeNode):
         if self.is_parent and self.in_group:
             self._ship_queue.pop(dot, None)
             self._ship_sent_at.pop(dot, None)
-            relay = GroupCommitAck(msg.dot, msg.entries)
+            relay = GroupCommitAck(dict(msg.dot), dict(msg.entries))
             for member in self.members:
                 if member != self.node_id:
                     self.send(member, relay)

@@ -1,0 +1,408 @@
+"""colony-lint rule tests: must-flag and must-pass cases per family.
+
+Each case builds an in-memory project (``Project.from_sources``) and
+asserts on the finding codes — no filesystem, no subprocess, except the
+CLI exit-code tests at the bottom.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ALL_RULES, Project, run_rules
+from repro.analysis.core import (load_baseline, split_baselined,
+                                 write_baseline)
+from repro.analysis.selfcheck import EXPECTED, planted_sources, run_self_check
+
+REPO = Path(__file__).resolve().parents[2]
+
+MESSAGES = '''\
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    origin: str
+    state_vector: Dict[str, int]
+    txns: Tuple[dict, ...]
+    holders: FrozenSet[str]
+    payload: Any
+    extra: Optional[dict] = None
+'''
+
+
+def check(sources):
+    return run_rules(Project.from_sources(sources), ALL_RULES)
+
+
+def codes(sources):
+    return {f.rule for f in check(sources)}
+
+
+def analyze(*extra_modules):
+    sources = {"pkg/messages.py": MESSAGES}
+    for i, text in enumerate(extra_modules):
+        sources[f"pkg/mod{i}.py"] = text
+    return check(sources)
+
+
+# ---------------------------------------------------------------------------
+# determinism (D1xx)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("snippet,code", [
+    ("import time\ndef f():\n    return time.time()\n", "D101"),
+    ("import time as t\ndef f():\n    return t.monotonic()\n", "D101"),
+    ("from datetime import datetime\n"
+     "def f():\n    return datetime.utcnow()\n", "D102"),
+    ("import uuid\ndef f():\n    return uuid.uuid4()\n", "D103"),
+    ("import os\ndef f():\n    return os.urandom(8)\n", "D103"),
+    ("import secrets\ndef f():\n    return secrets.token_hex()\n",
+     "D103"),
+    ("import random\ndef f():\n    return random.randint(0, 9)\n",
+     "D105"),
+    ("from random import shuffle\ndef f(xs):\n    shuffle(xs)\n",
+     "D105"),
+    ("import random\ndef f():\n    return random.Random()\n", "D106"),
+    ("def f(x):\n    return hash(x) % 4\n", "D107"),
+])
+def test_determinism_flags(snippet, code):
+    assert code in codes({"pkg/mod.py": snippet})
+
+
+@pytest.mark.parametrize("snippet", [
+    # seeded RNG and sim clock are the sanctioned forms
+    "import random\ndef f(seed):\n    return random.Random(seed)\n",
+    "def f(actor):\n    return actor.now\n",
+    # hash() inside __hash__ is the one legitimate use
+    "class K:\n    def __hash__(self):\n"
+    "        return hash((1, 2))\n",
+    # time.sleep is not a clock *read*
+    "import time\ndef f():\n    time.sleep(0)\n",
+])
+def test_determinism_passes(snippet):
+    assert not codes({"pkg/mod.py": snippet}) & {
+        "D101", "D102", "D103", "D105", "D106", "D107"}
+
+
+# ---------------------------------------------------------------------------
+# message hygiene (M2xx)
+# ---------------------------------------------------------------------------
+
+def test_unfrozen_message_flagged():
+    src = ("from dataclasses import dataclass\n"
+           "@dataclass\nclass Evil:\n    x: int\n")
+    assert "M201" in codes({"pkg/messages.py": src})
+
+
+def test_mutable_field_annotation_flagged():
+    src = ("from dataclasses import dataclass\n"
+           "from typing import List\n"
+           "@dataclass(frozen=True)\nclass Evil:\n"
+           "    xs: List[int]\n")
+    assert "M202" in codes({"pkg/messages.py": src})
+
+
+def test_clean_message_module_passes():
+    assert not {f.rule for f in analyze()} & {"M201", "M202"}
+
+
+def test_type_alias_resolution():
+    # epaxos-style: InstanceId = Tuple[str, int] must classify as OK
+    src = ("from dataclasses import dataclass\n"
+           "from typing import Tuple\n"
+           "InstanceId = Tuple[str, int]\n"
+           "@dataclass(frozen=True)\nclass M:\n"
+           "    instance: InstanceId\n")
+    assert "M202" not in codes({"pkg/messages.py": src})
+
+
+def test_aliased_constructor_arg_flagged():
+    handler = ("from pkg.messages import Ping\n"
+               "class A:\n"
+               "    def emit(self):\n"
+               "        return Ping('n', self.vec, (), frozenset(),"
+               " None)\n")
+    found = analyze(handler)
+    assert any(f.rule == "M203" and "state_vector" in f.message
+               for f in found)
+
+
+def test_copied_constructor_arg_passes():
+    handler = ("from pkg.messages import Ping\n"
+               "class A:\n"
+               "    def emit(self):\n"
+               "        return Ping('n', dict(self.vec), (),"
+               " frozenset(), None)\n"
+               "    def emit2(self):\n"
+               "        return Ping('n', self.vector.to_dict(), (),"
+               " frozenset(), None)\n")
+    assert not {f.rule for f in analyze(handler)} & {"M203"}
+
+
+# ---------------------------------------------------------------------------
+# handler coverage (H3xx)
+# ---------------------------------------------------------------------------
+
+DISPATCH = ('from pkg.messages import Ping\n'
+            'class A:\n'
+            '    def on_message(self, message, sender):\n'
+            '        if isinstance(message, Ping):\n'
+            '            self._on_ping(message, sender)\n'
+            '    def _on_ping(self, msg: Ping, sender: str):\n'
+            '        return msg.origin\n')
+
+
+def test_handled_message_passes():
+    assert not {f.rule for f in analyze(DISPATCH)} & {"H301", "H303"}
+
+
+def test_unhandled_message_flagged():
+    dispatch = ('from pkg.messages import Ping\n'
+                'class A:\n'
+                '    def on_message(self, message, sender):\n'
+                '        if isinstance(message, Ping):\n'
+                '            pass\n')
+    sources = {
+        "pkg/messages.py": MESSAGES + (
+            "\n\n@dataclass(frozen=True)\nclass Orphan:\n    x: int\n"),
+        "pkg/mod0.py": dispatch,
+    }
+    found = check(sources)
+    assert any(f.rule == "H301" and f.symbol == "Orphan" for f in found)
+
+
+def test_h301_disarmed_without_dispatch_sites():
+    # Pre-commit over a lone messages.py must not flag every class.
+    assert "H301" not in codes({"pkg/messages.py": MESSAGES})
+
+
+def test_duplicate_arm_flagged():
+    dispatch = ('from pkg.messages import Ping\n'
+                'class A:\n'
+                '    def on_message(self, message, sender):\n'
+                '        if isinstance(message, Ping):\n'
+                '            pass\n'
+                '        elif isinstance(message, Ping):\n'
+                '            pass\n')
+    assert "H302" in {f.rule for f in analyze(dispatch)}
+
+
+def test_tuple_isinstance_guard_not_duplicate():
+    # peergroup-style offline guard + individual arms is legitimate
+    dispatch = ('from pkg.messages import Ping\n'
+                'class A:\n'
+                '    def on_message(self, message, sender):\n'
+                '        if isinstance(message, (Ping, str)):\n'
+                '            pass\n'
+                '        if isinstance(message, Ping):\n'
+                '            pass\n')
+    assert "H302" not in {f.rule for f in analyze(dispatch)}
+
+
+def test_undeclared_field_flagged():
+    handler = ('from pkg.messages import Ping\n'
+               'class A:\n'
+               '    def _on_ping(self, msg: Ping, sender: str):\n'
+               '        return msg.bogus_field\n')
+    found = analyze(handler)
+    assert any(f.rule == "H303" and "bogus_field" in f.message
+               for f in found)
+
+
+# ---------------------------------------------------------------------------
+# vector discipline (V4xx)
+# ---------------------------------------------------------------------------
+
+def test_vector_mutation_flagged():
+    src = ("class A:\n"
+           "    def f(self):\n"
+           "        self.stable_vector['n'] = 3\n")
+    assert "V401" in codes({"pkg/mod.py": src})
+
+
+def test_vector_update_call_flagged():
+    src = ("def f(vc, other):\n"
+           "    vc.update(other)\n")
+    assert "V401" in codes({"pkg/mod.py": src})
+
+
+def test_vector_mutation_allowed_in_core_clock():
+    src = ("class VectorClock:\n"
+           "    def advance(self, node):\n"
+           "        self._entries[node] = self._entries.get(node, 0)"
+           " + 1\n")
+    assert "V401" not in codes({"src/repro/core/clock.py": src})
+
+
+def test_entries_reach_in_flagged():
+    src = "def f(clock):\n    return clock._entries\n"
+    assert "V402" in codes({"pkg/mod.py": src})
+
+
+def test_vector_read_passes():
+    src = ("def f(vector, other_vector):\n"
+           "    merged = vector.merge(other_vector)\n"
+           "    return merged.to_dict()['n']\n")
+    assert not codes({"pkg/mod.py": src}) & {"V401", "V402"}
+
+
+# ---------------------------------------------------------------------------
+# aliasing (A5xx)
+# ---------------------------------------------------------------------------
+
+def test_handler_mutating_payload_flagged():
+    handler = ('from pkg.messages import Ping\n'
+               'class A:\n'
+               '    def _on_ping(self, msg: Ping, sender: str):\n'
+               '        msg.state_vector["n"] = 1\n')
+    assert "A501" in {f.rule for f in analyze(handler)}
+
+
+def test_dispatch_param_mutation_flagged():
+    # unannotated on_message params are covered too
+    handler = ('class A:\n'
+               '    def on_message(self, message, sender):\n'
+               '        message.payload.append(1)\n')
+    assert "A501" in codes({"pkg/mod.py": handler})
+
+
+def test_stored_payload_alias_flagged():
+    handler = ('from pkg.messages import Ping\n'
+               'class A:\n'
+               '    def _on_ping(self, msg: Ping, sender: str):\n'
+               '        self.latest = msg.state_vector\n')
+    assert "A502" in {f.rule for f in analyze(handler)}
+
+
+def test_copied_payload_store_passes():
+    handler = ('from pkg.messages import Ping\n'
+               'class A:\n'
+               '    def _on_ping(self, msg: Ping, sender: str):\n'
+               '        self.latest = dict(msg.state_vector)\n'
+               '        local = msg.origin\n'
+               '        return local\n')
+    assert not {f.rule for f in analyze(handler)} & {"A501", "A502"}
+
+
+# ---------------------------------------------------------------------------
+# suppressions and baseline
+# ---------------------------------------------------------------------------
+
+def test_inline_suppression():
+    src = ("import time\n"
+           "def f():\n"
+           "    return time.time()  # colony-lint: disable=D101\n")
+    assert "D101" not in codes({"pkg/mod.py": src})
+
+
+def test_standalone_suppression_covers_next_line():
+    src = ("import time\n"
+           "def f():\n"
+           "    # colony-lint: disable=determinism\n"
+           "    return time.time()\n")
+    assert "D101" not in codes({"pkg/mod.py": src})
+
+
+def test_file_suppression():
+    src = ("# colony-lint: disable-file=D101\n"
+           "import time\n"
+           "def f():\n    return time.time()\n"
+           "def g():\n    return time.time()\n")
+    assert "D101" not in codes({"pkg/mod.py": src})
+
+
+def test_suppression_is_code_specific():
+    src = ("import time\n"
+           "def f():\n"
+           "    return time.time()  # colony-lint: disable=D999\n")
+    assert "D101" in codes({"pkg/mod.py": src})
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = check(
+        {"pkg/mod.py": "import time\ndef f():\n    return time.time()\n"})
+    assert findings
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings)
+    fingerprints = load_baseline(path)
+    fresh, old = split_baselined(findings, fingerprints)
+    assert not fresh and len(old) == len(findings)
+
+
+def test_baseline_fingerprint_line_independent(tmp_path):
+    a = check(
+        {"pkg/mod.py": "import time\ndef f():\n    return time.time()\n"})
+    b = check(
+        {"pkg/mod.py": "import time\n\n\ndef f():\n"
+                       "    return time.time()\n"})
+    assert [f.fingerprint() for f in a] == [f.fingerprint() for f in b]
+
+
+# ---------------------------------------------------------------------------
+# self-check and the real tree
+# ---------------------------------------------------------------------------
+
+def test_self_check_trips_every_code():
+    found = {f.rule for f in check(planted_sources())}
+    assert EXPECTED <= found
+
+
+def test_self_check_exit_protocol(capsys):
+    import io
+    buf = io.StringIO()
+    assert run_self_check(buf) == 1
+    assert "self-check OK" in buf.getvalue()
+
+
+def test_real_tree_is_clean():
+    project = Project.from_paths([str(REPO / "src")], root=REPO)
+    findings = run_rules(project, ALL_RULES)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+
+def _cli(*argv, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True, text=True, cwd=cwd or REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"})
+
+
+def test_cli_clean_tree_exits_zero():
+    result = _cli("src")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_cli_self_check_exits_one():
+    result = _cli("--self-check")
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "self-check OK" in result.stdout
+
+
+def test_cli_findings_exit_one_and_json(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\ndef f():\n    return time.time()\n")
+    result = _cli(str(bad), "--json", cwd=tmp_path)
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["counts"] == {"D101": 1}
+    assert payload["new_findings"][0]["rule"] == "D101"
+
+
+def test_cli_write_baseline_then_clean(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\ndef f():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    wrote = _cli(str(bad), "--baseline", str(baseline),
+                 "--write-baseline", cwd=tmp_path)
+    assert wrote.returncode == 0
+    again = _cli(str(bad), "--baseline", str(baseline), cwd=tmp_path)
+    assert again.returncode == 0, again.stdout + again.stderr
