@@ -20,9 +20,9 @@ The DC also:
 
 from __future__ import annotations
 
+import bisect
 import random
-from collections import deque
-from typing import (Any, Callable, Dict, Deque, List, Optional, Set,
+from typing import (Any, Callable, Dict, List, Optional, Set,
                     Tuple)
 
 from ..core.clock import LamportClock, VectorClock
@@ -53,6 +53,57 @@ class _EdgeSession:
     def __init__(self, edge_id: str):
         self.edge_id = edge_id
         self.interest: Dict[ObjectKey, str] = {}
+
+
+class _ReplQueue:
+    """One origin stream's receive queue, ordered by origin timestamp.
+
+    Anti-entropy resends interleave with live replication, so one
+    origin's transactions can arrive out of stream order.  The queue is
+    processed strictly from the head (a blocked head must stall its
+    stream); appending blindly would let an out-of-order later
+    transaction block the very predecessor that unblocks it.
+
+    Duplicates are filtered by a dot set (kept in sync on ``popleft``)
+    and the insert position found by bisect on the origin timestamp, so
+    both operations stay O(log n) instead of the naive O(n) scans.
+    """
+
+    __slots__ = ("_entries", "_keys", "_dots", "_head")
+
+    def __init__(self) -> None:
+        self._entries: List[Transaction] = []
+        # Origin timestamps parallel to _entries; unknown ts sorts last.
+        self._keys: List[float] = []
+        self._dots: Set[Dot] = set()
+        self._head = 0
+
+    def __len__(self) -> int:
+        return len(self._entries) - self._head
+
+    def head(self) -> Transaction:
+        return self._entries[self._head]
+
+    def popleft(self) -> Transaction:
+        txn = self._entries[self._head]
+        self._head += 1
+        self._dots.discard(txn.dot)
+        if self._head >= 32 and self._head * 2 >= len(self._entries):
+            del self._entries[:self._head]
+            del self._keys[:self._head]
+            self._head = 0
+        return txn
+
+    def insert(self, ts: Optional[int], txn: Transaction) -> bool:
+        """Queue in stream order; False when the dot is already queued."""
+        if txn.dot in self._dots:
+            return False  # a resend already queued; keep the first copy
+        key = float("inf") if ts is None else float(ts)
+        index = bisect.bisect_right(self._keys, key, lo=self._head)
+        self._entries.insert(index, txn)
+        self._keys.insert(index, key)
+        self._dots.add(txn.dot)
+        return True
 
 
 class _PendingRemoteTxn:
@@ -140,8 +191,9 @@ class DataCenter(Actor):
         self.kstab = KStabilityTracker(k_target)
         self.stable_vector = VectorClock.zero()
         self._stable_dots: Set[Dot] = set()
-        # Replication receive queues, one FIFO per sibling DC stream.
-        self._repl_queues: Dict[str, Deque[Transaction]] = {}
+        # Replication receive queues, one per sibling DC stream, kept
+        # in origin-timestamp order.
+        self._repl_queues: Dict[str, _ReplQueue] = {}
 
         # -- sessions / pending work -----------------------------------------------
         self.sessions: Dict[str, _EdgeSession] = {}
@@ -503,8 +555,8 @@ class DataCenter(Actor):
         txn = Transaction.from_dict(msg.txn)
         self.stats["replicated_in"] += 1
         self.kstab.record(txn.dot, set(msg.holders) | {self.node_id})
-        queue = self._repl_queues.setdefault(sender, deque())
-        self._enqueue_replicate(queue, sender, txn)
+        queue = self._repl_queues.setdefault(sender, _ReplQueue())
+        queue.insert(txn.commit.entries.get(sender), txn)
         self._process_repl_queues()
         # Tell every DC that we now hold the transaction too.
         holders = frozenset(self.kstab.holders(txn.dot))
@@ -512,29 +564,6 @@ class DataCenter(Actor):
         for dc in self.peer_dcs:
             self.send(dc, ack)
         self._advance_stability()
-
-    @staticmethod
-    def _enqueue_replicate(queue: deque, sender: str,
-                           txn: Transaction) -> None:
-        """Queue a replicate in *stream* order, not arrival order.
-
-        Anti-entropy resends interleave with live replication, so one
-        origin's transactions can arrive out of stream order.  The queue
-        is processed strictly from the head (a blocked head must stall
-        its stream); appending blindly would let an out-of-order later
-        transaction block the very predecessor that unblocks it.
-        """
-        if any(existing.dot == txn.dot for existing in queue):
-            return  # a resend already queued; keep the first copy
-        ts = txn.commit.entries.get(sender)
-        index = len(queue)
-        if ts is not None:
-            for i, existing in enumerate(queue):
-                existing_ts = existing.commit.entries.get(sender)
-                if existing_ts is not None and existing_ts > ts:
-                    index = i
-                    break
-        queue.insert(index, txn)
 
     def _process_repl_queues(self) -> None:
         """Apply queued remote transactions whose dependencies are met.
@@ -550,8 +579,8 @@ class DataCenter(Actor):
         while progress:
             progress = False
             for origin_dc, queue in self._repl_queues.items():
-                while queue:
-                    txn = queue[0]
+                while len(queue):
+                    txn = queue.head()
                     ts = txn.commit.entries.get(origin_dc)
                     if ts is None:  # pragma: no cover - malformed stream
                         queue.popleft()
@@ -732,11 +761,16 @@ class DataCenter(Actor):
                 seen.add(txn.dot)
                 unique.append(txn)
         stable = self.stable_vector.to_dict()
+        # Serialise each txn once and share the dicts across sessions:
+        # receivers rebuild Transaction objects and never mutate these.
+        shared = [(t.to_dict(), t.keys, t.byte_size()) for t in unique]
         for session in self.sessions.values():
-            relevant = [t.to_dict() for t in unique
-                        if any(k in session.interest for k in t.keys)]
-            push = UpdatePush(tuple(relevant), stable, prev)
-            size = sum(t.byte_size() for t in unique) if relevant else 16
+            relevant = tuple(
+                (payload, size) for payload, keys, size in shared
+                if any(k in session.interest for k in keys))
+            push = UpdatePush(tuple(p for p, _ in relevant), stable, prev)
+            size = (sum(s for _, s in relevant) + 16 + 8 * len(stable)
+                    if relevant else 16)
             self.send(session.edge_id, push, size_bytes=size)
 
     def _keepalive(self) -> None:
