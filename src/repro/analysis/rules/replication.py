@@ -1,0 +1,59 @@
+"""Replication-pipeline rules (family R).
+
+Geo-replication ships commit streams as batched
+:class:`~repro.dc.messages.ReplicateBatch` frames with stability
+coalesced onto cumulative vector acks.  The legacy per-transaction wire
+format survives only inside named compatibility helpers (the
+``unbatched`` mode and the stability anti-entropy re-ack).  Any other
+construction of the per-txn frames silently bypasses the batcher —
+still *correct*, so convergence tests never notice, but it re-grows the
+N-messages-per-commit wire cost the pipeline exists to remove.
+
+* **R601** — ``Replicate`` constructed outside the legacy helpers;
+* **R602** — ``StabilityAck`` constructed outside the legacy helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..core import Finding, Module, Project, Rule
+
+#: Functions allowed to speak the legacy per-transaction wire format.
+LEGACY_SENDERS = {"_replicate_unbatched", "_resend_unbatched",
+                  "_ack_unbatched", "_reack_held"}
+
+#: Per-txn frame class name -> finding code.
+PER_TXN_FRAMES = {"Replicate": "R601", "StabilityAck": "R602"}
+
+
+class ReplicationPipelineRule(Rule):
+    name = "replication-pipeline"
+    codes = {
+        "R601": "per-txn Replicate constructed outside the legacy "
+                "unbatched helpers (bypasses the batch pipeline)",
+        "R602": "per-txn StabilityAck constructed outside the legacy "
+                "unbatched helpers (bypasses coalesced vector acks)",
+    }
+
+    def check_module(self, module: Module,
+                     project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            cls = project.lookup_message(module, node.func)
+            if cls is None or cls.name not in PER_TXN_FRAMES:
+                continue
+            func = module.enclosing_function(node)
+            if func is not None and func.name in LEGACY_SENDERS:
+                continue
+            findings.append(Finding(
+                PER_TXN_FRAMES[cls.name], module.path,
+                node.lineno, node.col_offset,
+                f"{cls.name}(...) built outside the legacy helpers "
+                f"({', '.join(sorted(LEGACY_SENDERS))}); ship stream "
+                "entries through the batched pipeline instead",
+                module.qualname(node)))
+        return findings

@@ -142,6 +142,23 @@ class InvariantChecker:
                         self._now()))
         return violations
 
+    def check_stream_contiguity(self) -> List[InvariantViolation]:
+        """Applied commit streams have no holes below the frontier.
+
+        A DC's state-vector entry for an origin asserts it applied that
+        stream contiguously up to the frontier; batched shipping must
+        never let an ack or frontier advance past a missing position.
+        """
+        violations = []
+        for dc in self.dcs:
+            for origin, missing in dc.stream_gaps().items():
+                violations.append(InvariantViolation(
+                    "stream-contiguity", dc.node_id,
+                    f"stream {origin} advertised up to "
+                    f"{dc.state_vector[origin]} but misses {missing}",
+                    self._now()))
+        return violations
+
     def check_sessions(self) -> List[InvariantViolation]:
         """Replay new session-log entries for the session guarantees.
 
@@ -189,6 +206,7 @@ class InvariantChecker:
         violations = self.check_dot_uniqueness()
         violations += self.check_vector_monotonicity()
         violations += self.check_kstability_gate()
+        violations += self.check_stream_contiguity()
         violations += self.check_sessions()
         return violations
 

@@ -27,8 +27,22 @@ class VectorClock(Mapping[Any, int]):
     __slots__ = ("_entries",)
 
     def __init__(self, entries: Optional[Mapping[Any, int]] = None):
-        cleaned = {k: int(v) for k, v in (entries or {}).items() if v}
-        self._entries: Dict[Any, int] = cleaned
+        if entries:
+            self._entries: Dict[Any, int] = {
+                k: int(v) for k, v in entries.items() if v}
+        else:
+            self._entries = {}
+
+    @classmethod
+    def _wrap(cls, entries: Dict[Any, int]) -> "VectorClock":
+        """Adopt ``entries`` without re-validating (internal fast path).
+
+        Callers must guarantee the invariant the public constructor
+        enforces: int values, no zero entries, ownership of the dict.
+        """
+        clock = cls.__new__(cls)
+        clock._entries = entries
+        return clock
 
     # -- Mapping interface ---------------------------------------------------
     def __getitem__(self, key: Any) -> int:
@@ -53,7 +67,7 @@ class VectorClock(Mapping[Any, int]):
         for key, val in other._entries.items():
             if val > merged.get(key, 0):
                 merged[key] = val
-        return VectorClock(merged)
+        return VectorClock._wrap(merged)
 
     def advance(self, key: Any, value: Optional[int] = None) -> "VectorClock":
         """Copy with ``key`` advanced to ``value`` (default: +1)."""
@@ -63,12 +77,17 @@ class VectorClock(Mapping[Any, int]):
                 f"clock entry {key!r} may not move backwards"
                 f" ({self[key]} -> {new_value})")
         entries = dict(self._entries)
-        entries[key] = new_value
-        return VectorClock(entries)
+        if new_value:
+            entries[key] = new_value
+        return VectorClock._wrap(entries)
 
     def leq(self, other: "VectorClock") -> bool:
         """True when this clock is <= other component-wise."""
-        return all(val <= other[key] for key, val in self._entries.items())
+        theirs = other._entries
+        for key, val in self._entries.items():
+            if val > theirs.get(key, 0):
+                return False
+        return True
 
     def lt(self, other: "VectorClock") -> bool:
         return self.leq(other) and self != other
@@ -78,6 +97,38 @@ class VectorClock(Mapping[Any, int]):
 
     def dominates(self, other: "VectorClock") -> bool:
         return other.leq(self)
+
+    # -- delta encoding --------------------------------------------------------
+    def delta_from(self, base: "VectorClock") -> Dict[Any, int]:
+        """Sparse encoding of this clock against ``base``.
+
+        Returns only the entries that differ from ``base``; an entry the
+        base carries but this clock lacks is encoded as an explicit zero
+        (the constructor strips zeros, so absence alone cannot express
+        "went back to nothing" relative to a base).  Batched replication
+        frames use this to ship per-transaction snapshot vectors as a
+        handful of bytes against the link's last-acknowledged frontier.
+        """
+        delta = {k: v for k, v in self._entries.items() if base[k] != v}
+        for k in base:
+            if k not in self._entries:
+                delta[k] = 0
+        return delta
+
+    @classmethod
+    def from_delta(cls, base: "VectorClock",
+                   delta: Mapping[Any, int]) -> "VectorClock":
+        """Reconstruct the clock that ``delta_from(base)`` encoded.
+
+        An empty delta returns ``base`` itself — clocks are immutable,
+        so sharing is safe, and chained batch decoding hits this path
+        for every entry whose snapshot equals its predecessor's.
+        """
+        if not delta:
+            return base
+        entries = dict(base._entries)
+        entries.update(delta)
+        return cls(entries)
 
     # -- misc -----------------------------------------------------------------
     def byte_size(self, entry_bytes: int = 8) -> int:

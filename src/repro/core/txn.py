@@ -64,6 +64,8 @@ class Snapshot:
         """
         if not self.vector.leq(state_vector):
             return False
+        if not self.local_deps:
+            return True
         if hasattr(known_dots, "seen"):
             return all(known_dots.seen(d) for d in self.local_deps)
         return all(d in known_dots for d in self.local_deps)

@@ -34,13 +34,16 @@ from ..security.enforcement import SecurityEnforcer
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
-from .messages import (CommitAck, CommitReject, DCSyncPing, EdgeCommit,
-                       EdgeCommitBatch, InterestChange,
+from .messages import (HEADER_BYTES, CommitAck, CommitReject, DCSyncPing,
+                       EdgeCommit, EdgeCommitBatch, InterestChange,
                        ObjectRequest, ObjectResponse, RemoteTxnReply,
-                       RemoteTxnRequest, Replicate, SessionAck, SessionOpen,
-                       ShardApply, ShardCommit, ShardCompactMsg,
-                       ShardPrepare, ShardRead, ShardReadReply, ShardVote,
-                       StabilityAck, UpdatePush)
+                       RemoteTxnRequest, Replicate, ReplicateBatch,
+                       ReplicateBatchAck, SessionAck, SessionOpen,
+                       ShardApply, ShardApplyBatch, ShardCommit,
+                       ShardCompactMsg, ShardPrepare, ShardRead,
+                       ShardReadReply, ShardVote, StabilityAck, UpdatePush,
+                       vector_wire_size)
+from .replog import ReplLink, decode_stream_entry, encode_stream_entry
 from .server import ShardServer
 from ..store.ring import HashRing
 
@@ -145,17 +148,32 @@ class DataCenter(Actor):
     #: Anti-entropy between DCs: ping period and max resends per ping.
     SYNC_PERIOD_MS = 500.0
     SYNC_BATCH = 64
+    #: Batched log shipping: Nagle-style flush window and frame cap.
+    REPL_FLUSH_MS = 1.0
+    REPL_BATCH_MAX = 256
 
     def __init__(self, node_id: str, loop: EventLoop, network: Network,
                  peer_dcs: Optional[List[str]] = None,
                  n_shards: int = 4, k_target: int = 1,
                  security: Optional[SecurityEnforcer] = None,
                  service_time_ms: Optional[float] = None,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 replication_mode: str = "batched",
+                 repl_flush_ms: Optional[float] = None,
+                 repl_batch_max: Optional[int] = None):
         super().__init__(node_id, loop, network, rng)
         self.peer_dcs: List[str] = list(peer_dcs or [])
         self.k_target = k_target
         self.security = security
+        if replication_mode not in ("batched", "unbatched"):
+            raise ValueError(
+                f"unknown replication mode {replication_mode!r}")
+        self.replication_mode = replication_mode
+        self.repl_flush_ms = (self.REPL_FLUSH_MS if repl_flush_ms is None
+                              else repl_flush_ms)
+        self.repl_batch_max = (self.REPL_BATCH_MAX
+                               if repl_batch_max is None
+                               else repl_batch_max)
         self.service_time_ms = (self.SERVICE_TIME_MS
                                 if service_time_ms is None
                                 else service_time_ms)
@@ -194,6 +212,15 @@ class DataCenter(Actor):
         # Replication receive queues, one per sibling DC stream, kept
         # in origin-timestamp order.
         self._repl_queues: Dict[str, _ReplQueue] = {}
+        # Batched log shipping: per-directed-link send state, the best
+        # known applied vector of each peer (coalesced stability), a
+        # pending-flush guard and the per-drain shard apply buffer.
+        self._repl_links: Dict[str, ReplLink] = {}
+        self._peer_applied: Dict[str, VectorClock] = {}
+        self._repl_flush_scheduled = False
+        self._shard_apply_buf: Dict[str, List[dict]] = {}
+        # Chain-encoded own-stream entries, shared across every link.
+        self._entry_cache: Dict[int, Tuple[dict, int]] = {}
 
         # -- sessions / pending work -----------------------------------------------
         self.sessions: Dict[str, _EdgeSession] = {}
@@ -209,7 +236,9 @@ class DataCenter(Actor):
 
         self.stats = {"committed": 0, "replicated_in": 0,
                       "edge_commits": 0, "remote_txns": 0,
-                      "rejected": 0}
+                      "rejected": 0, "repl_batches_out": 0,
+                      "repl_batches_in": 0, "repl_acks_out": 0,
+                      "repl_acks_in": 0}
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -254,6 +283,10 @@ class DataCenter(Actor):
             self._on_remote_txn(message, sender)
         elif isinstance(message, Replicate):
             self._on_replicate(message, sender)
+        elif isinstance(message, ReplicateBatch):
+            self._on_replicate_batch(message, sender)
+        elif isinstance(message, ReplicateBatchAck):
+            self._on_replicate_batch_ack(message, sender)
         elif isinstance(message, StabilityAck):
             self._on_stability_ack(message, sender)
         elif isinstance(message, DCSyncPing):
@@ -408,14 +441,27 @@ class DataCenter(Actor):
             # Already committed elsewhere (edge txn); store, no 2PC.
             for shard, _keys in self.ring.partition(txn.keys).items():
                 self.send(shard, ShardApply(txn.to_dict()))
-        # K-stability bookkeeping and geo-replication.
+        # K-stability bookkeeping and geo-replication.  Batched mode
+        # treats the commit stream itself as the send buffer: commits in
+        # the same flush window ship together as ReplicateBatch frames.
         self.kstab.record(txn.dot, {self.node_id})
+        if self.replication_mode == "batched":
+            self._schedule_repl_flush()
+        else:
+            self._replicate_unbatched(txn)
+        if self.k_target <= 1:
+            # With K > 1 a fresh local commit has a single holder, so it
+            # cannot move the stable cut (nor unblock releases waiting on
+            # our stream: those need this very dot stable first).
+            self._advance_stability()
+
+    def _replicate_unbatched(self, txn: Transaction) -> None:
+        """Legacy pre-batching wire format: one frame per txn per peer."""
         payload = txn.to_dict()
         holders = frozenset({self.node_id})
         for dc in self.peer_dcs:
             self.send(dc, Replicate(payload, holders),
                       size_bytes=txn.byte_size())
-        self._advance_stability()
 
     # ------------------------------------------------------------------
     # remote (in-DC) transactions: baseline clients & migration (3.6/3.9)
@@ -552,21 +598,226 @@ class DataCenter(Actor):
     # geo-replication (sections 3.4, 3.6) and K-stability (3.8)
     # ------------------------------------------------------------------
     def _on_replicate(self, msg: Replicate, sender: str) -> None:
+        """Legacy per-transaction replication (and hand-injected frames)."""
         txn = Transaction.from_dict(msg.txn)
         self.stats["replicated_in"] += 1
         self.kstab.record(txn.dot, set(msg.holders) | {self.node_id})
         queue = self._repl_queues.setdefault(sender, _ReplQueue())
         queue.insert(txn.commit.entries.get(sender), txn)
-        self._process_repl_queues()
-        # Tell every DC that we now hold the transaction too.
+        self._process_repl_queues(moved=sender)
+        if self.replication_mode == "batched":
+            # Coalesced stability: a cumulative vector ack replaces the
+            # per-transaction gossip broadcast.
+            self._send_batch_ack(sender)
+        else:
+            self._ack_unbatched(txn)
+        self._advance_stability()
+
+    def _ack_unbatched(self, txn: Transaction) -> None:
+        """Legacy stability gossip: per-txn broadcast to every peer DC."""
         holders = frozenset(self.kstab.holders(txn.dot))
         ack = StabilityAck(txn.dot.to_dict(), holders)
         for dc in self.peer_dcs:
             self.send(dc, ack)
+
+    # -- batched log shipping (send side) -------------------------------
+    def _link(self, peer: str) -> ReplLink:
+        link = self._repl_links.get(peer)
+        if link is None:
+            link = self._repl_links[peer] = ReplLink(peer)
+        return link
+
+    def _schedule_repl_flush(self) -> None:
+        """Arm the Nagle-style flush timer once per window."""
+        if self._repl_flush_scheduled or not self.peer_dcs:
+            return
+        self._repl_flush_scheduled = True
+        self.set_timer(self.repl_flush_ms, self._flush_repl_links)
+
+    def _flush_repl_links(self) -> None:
+        self._repl_flush_scheduled = False
+        for dc in self.peer_dcs:
+            self._flush_link(self._link(dc))
+
+    def _flush_link(self, link: ReplLink,
+                    limit: Optional[int] = None) -> None:
+        """Ship the unsent suffix of our stream as contiguous frames.
+
+        Entries are chain-encoded: each snapshot vector is a delta
+        against the *previous* stream entry's vector, and the frame
+        carries the vector just before its first entry as the base, so
+        decoding is self-contained even across lost acks.  Because the
+        chain base does not depend on the receiving link, every entry
+        is serialised exactly once and shared by all sibling links.
+        """
+        if not self._stream_dots.get(self.node_id):
+            return
+        top = self._sequencer
+        if limit is not None:
+            top = min(top, link.sent_ts + limit)
+        sender_vector = self.state_vector.to_dict()
+        while link.sent_ts < top:
+            lo = link.sent_ts + 1
+            hi = min(top, link.sent_ts + self.repl_batch_max)
+            base = self._chain_base(lo)
+            entries = []
+            size = (HEADER_BYTES + len(self.node_id) + 8
+                    + 8 * len(base) + 8 * len(sender_vector))
+            for ts in range(lo, hi + 1):
+                encoded, entry_size = self._encode_entry(ts)
+                entries.append(encoded)
+                size += entry_size
+            frame = ReplicateBatch(self.node_id, lo, base.to_dict(),
+                                   tuple(entries), sender_vector)
+            self.send(link.peer, frame, size_bytes=size)
+            link.sent_ts = hi
+            link.batches_sent += 1
+            link.txns_sent += len(entries)
+            link.bytes_sent += size
+            self.stats["repl_batches_out"] += 1
+
+    def _chain_base(self, ts: int) -> VectorClock:
+        """Snapshot vector of own stream entry ``ts - 1`` (zero at 1)."""
+        if ts <= 1:
+            return VectorClock.zero()
+        prev = self._txn_by_dot[self._stream_dots[self.node_id][ts - 1]]
+        return prev.snapshot.vector
+
+    def _encode_entry(self, ts: int) -> Tuple[dict, int]:
+        """Chain-encode own stream entry ``ts``, memoised per entry.
+
+        Stream entries are immutable once sequenced, except that a
+        migration duplicate may graft extra equivalent commit entries
+        later — ``_adopt_commit_entries`` invalidates the cache then.
+        """
+        cached = self._entry_cache.get(ts)
+        if cached is None:
+            txn = self._txn_by_dot[self._stream_dots[self.node_id][ts]]
+            cached = self._entry_cache[ts] = encode_stream_entry(
+                txn, self.node_id, ts, self._chain_base(ts))
+        return cached
+
+    # -- batched log shipping (receive side) ----------------------------
+    def _on_replicate_batch(self, msg: ReplicateBatch, sender: str) -> None:
+        self.stats["repl_batches_in"] += 1
+        # The sender applied everything its vector covers: that is the
+        # coalesced stability gossip, and it must be noted *before* the
+        # drain so apply-time holder counts see it.
+        self._note_peer_applied(sender, VectorClock(msg.sender_vector))
+        base = VectorClock(msg.base_vector)
+        origin_dc = msg.origin_dc
+        queue = self._repl_queues.setdefault(origin_dc, _ReplQueue())
+        applied = False
+        for i, entry in enumerate(msg.entries):
+            ts = msg.start_ts + i
+            self.stats["replicated_in"] += 1
+            txn = decode_stream_entry(entry, origin_dc, ts, base)
+            # The chain continues from the entry just decoded.
+            base = txn.snapshot.vector
+            # Fast path: with nothing queued ahead of it, an in-order
+            # head that extends our frontier with a satisfied snapshot
+            # applies without a queue round-trip.  Anything else (hole,
+            # stale resend, migration duplicate) takes the queue and the
+            # generic drain sorts it out.
+            if (not len(queue)
+                    and ts == self.state_vector[origin_dc] + 1
+                    and not self.dots.seen(txn.dot)
+                    and txn.snapshot.satisfied_by(self.state_vector,
+                                                  self.dots)):
+                self._apply_remote_txn(origin_dc, ts, txn)
+                applied = True
+            else:
+                queue.insert(ts, txn)
+        if applied or len(queue):
+            # Fast-path applies moved our frontier, so other streams may
+            # have unblocked: rescan them all.  _process_repl_queues ends
+            # with shard-apply flush and an _advance_stability pass.
+            self._process_repl_queues(moved=None if applied else origin_dc)
+        self._send_batch_ack(sender)
+
+    def _send_batch_ack(self, peer: str) -> None:
+        self.stats["repl_acks_out"] += 1
+        ack = ReplicateBatchAck(self.state_vector.to_dict())
+        self.send(peer, ack,
+                  size_bytes=HEADER_BYTES
+                  + vector_wire_size(self.state_vector))
+
+    def _on_replicate_batch_ack(self, msg: ReplicateBatchAck,
+                                sender: str) -> None:
+        self._link(sender).acks_in += 1
+        self.stats["repl_acks_in"] += 1
+        if self._note_peer_applied(sender, VectorClock(msg.applied_vector)):
+            self._advance_stability()
+
+    # -- coalesced K-stability ------------------------------------------
+    def _note_peer_applied(self, peer: str,
+                           vector: VectorClock) -> bool:
+        """Fold a peer's applied vector into holder knowledge.
+
+        A peer holds every transaction its applied vector covers, so
+        each newly covered (origin, ts) we know the dot of is recorded
+        with the K-stability tracker.  Entries past our own applied
+        frontier are picked up at apply time via ``_known_holders``.
+        Returns True when the peer's known frontier advanced (holder
+        counts may have changed), False on a stale vector.
+        """
+        known = self._peer_applied.get(peer, VectorClock.zero())
+        if vector.leq(known):
+            return False
+        merged = known.merge(vector)
+        self._peer_applied[peer] = merged
+        for origin in merged:
+            new = merged[origin]
+            old = known[origin]
+            if new <= old:
+                continue
+            stream = self._stream_dots.get(origin)
+            if not stream:
+                continue
+            cap = (self._sequencer if origin == self.node_id
+                   else self.state_vector[origin])
+            for ts in range(old + 1, min(new, cap) + 1):
+                dot = stream.get(ts)
+                # Holder sets only gate stability; once a dot is inside
+                # the stable cut, further holders are of no consequence.
+                if dot is not None and dot not in self._stable_dots:
+                    self.kstab.record(dot, (peer,))
+        return True
+
+    def _known_holders(self, origin_dc: str, ts: int) -> Set[str]:
+        """Us plus every peer whose applied vector covers (origin, ts)."""
+        holders = {self.node_id}
+        for peer, vec in self._peer_applied.items():
+            if vec[origin_dc] >= ts:
+                holders.add(peer)
+        return holders
+
+    def _process_repl_queues(self, moved: Optional[str] = None) -> None:
+        """Apply queued remote transactions whose dependencies are met.
+
+        When ``moved`` names the only queue whose frontier could have
+        changed (a frame just landed on it), drain it first; if it made
+        no progress, nothing changed globally and the full rescan is
+        skipped.  If it did progress, other queues may have unblocked
+        (cross-stream snapshot dependencies), so loop until quiescent.
+        """
+        if moved is not None:
+            queue = self._repl_queues.get(moved)
+            if queue is None or not self._drain_queue(moved, queue):
+                self._flush_shard_applies()
+                self._advance_stability()
+                return
+        progress = True
+        while progress:
+            progress = False
+            for origin_dc, queue in self._repl_queues.items():
+                if self._drain_queue(origin_dc, queue):
+                    progress = True
+        self._flush_shard_applies()
         self._advance_stability()
 
-    def _process_repl_queues(self) -> None:
-        """Apply queued remote transactions whose dependencies are met.
+    def _drain_queue(self, origin_dc: str, queue: _ReplQueue) -> bool:
+        """Drain one stream's queue; returns True if anything applied.
 
         Each stream is applied *contiguously*: the vector component for
         ``origin_dc`` asserts "we applied its stream up to here", so a
@@ -575,51 +826,63 @@ class DataCenter(Actor):
         still points at the hole).  Skipping ahead would advertise
         transactions we never received and stall replication forever.
         """
-        progress = True
-        while progress:
-            progress = False
-            for origin_dc, queue in self._repl_queues.items():
-                while len(queue):
-                    txn = queue.head()
-                    ts = txn.commit.entries.get(origin_dc)
-                    if ts is None:  # pragma: no cover - malformed stream
-                        queue.popleft()
-                        continue
-                    frontier = self.state_vector[origin_dc]
-                    if ts <= frontier:
-                        # Stale resend of an entry we already cover.
-                        self._adopt_commit_entries(txn)
-                        queue.popleft()
-                        progress = True
-                        continue
-                    if ts > frontier + 1:
-                        break  # hole below the head: wait for the resend
-                    if self.dots.seen(txn.dot):
-                        # Duplicate via another DC (migration); adopt the
-                        # extra equivalent commit entry (section 3.8).
-                        self._adopt_commit_entries(txn)
-                        self.state_vector = self.state_vector.merge(
-                            VectorClock({origin_dc: ts}))
-                        self._stream_dots.setdefault(
-                            origin_dc, {})[ts] = txn.dot
-                        queue.popleft()
-                        progress = True
-                        continue
-                    if not txn.snapshot.satisfied_by(self.state_vector,
-                                                     self.dots):
-                        break  # blocked on a third DC's stream
-                    queue.popleft()
-                    self._apply_remote_txn(origin_dc, ts, txn)
-                    progress = True
-        self._advance_stability()
+        progress = False
+        while len(queue):
+            txn = queue.head()
+            ts = txn.commit.entries.get(origin_dc)
+            if ts is None:  # pragma: no cover - malformed stream
+                queue.popleft()
+                continue
+            frontier = self.state_vector[origin_dc]
+            if ts <= frontier:
+                # Stale resend of an entry we already cover.
+                self._adopt_commit_entries(txn)
+                queue.popleft()
+                progress = True
+                continue
+            if ts > frontier + 1:
+                break  # hole below the head: wait for the resend
+            if self.dots.seen(txn.dot):
+                # Duplicate via another DC (migration); adopt the
+                # extra equivalent commit entry (section 3.8).  The
+                # head is exactly frontier + 1 here, so advancing the
+                # single component is the merge.
+                self._adopt_commit_entries(txn)
+                self.state_vector = self.state_vector.advance(
+                    origin_dc, ts)
+                self._stream_dots.setdefault(
+                    origin_dc, {})[ts] = txn.dot
+                # The stream coordinate is new even if the dot is not:
+                # peers whose vectors already cover it hold the txn.
+                self.kstab.record(txn.dot,
+                                  self._known_holders(origin_dc, ts))
+                queue.popleft()
+                progress = True
+                continue
+            if not txn.snapshot.satisfied_by(self.state_vector,
+                                             self.dots):
+                break  # blocked on a third DC's stream
+            queue.popleft()
+            self._apply_remote_txn(origin_dc, ts, txn)
+            progress = True
+        return progress
 
     def _adopt_commit_entries(self, txn: Transaction) -> None:
         """Merge equivalent commit stamps from a duplicate copy."""
         known = self._txn_by_dot.get(txn.dot)
-        if known is not None:
-            for dc, entry_ts in txn.commit.entries.items():
-                if dc not in known.commit.entries:
-                    known.commit.add_entry(dc, entry_ts)
+        if known is None:
+            return
+        changed = False
+        for dc, entry_ts in txn.commit.entries.items():
+            if dc not in known.commit.entries:
+                known.commit.add_entry(dc, entry_ts)
+                changed = True
+        if changed:
+            # A grafted equivalent entry invalidates the cached wire
+            # encoding of our own stream position for this txn.
+            own_ts = known.commit.entries.get(self.node_id)
+            if own_ts is not None:
+                self._entry_cache.pop(own_ts, None)
 
     def _apply_remote_txn(self, origin_dc: str, ts: int,
                           txn: Transaction) -> None:
@@ -630,10 +893,35 @@ class DataCenter(Actor):
         # Advance only the stream we received on: other equivalent commit
         # entries (section 3.8) belong to streams that ship separately, and
         # merging them here would claim transactions we have not applied.
-        self.state_vector = self.state_vector.merge(
-            VectorClock({origin_dc: ts}))
-        for shard, _keys in self.ring.partition(txn.keys).items():
-            self.send(shard, ShardApply(txn.to_dict()))
+        # Contiguity makes ts == frontier + 1, so a single-component
+        # advance is the merge.
+        self.state_vector = self.state_vector.advance(origin_dc, ts)
+        # Every peer whose applied vector already covers this coordinate
+        # holds the transaction — that knowledge arrived coalesced on
+        # batch acks rather than per-txn gossip.
+        self.kstab.record(txn.dot, self._known_holders(origin_dc, ts))
+        shards = self.ring.partition(txn.keys)
+        if not shards:
+            return  # metadata-only txn: nothing for the stores
+        payload = txn.to_dict()
+        if self.replication_mode == "batched":
+            for shard in shards:
+                self._shard_apply_buf.setdefault(shard, []).append(payload)
+        else:
+            for shard in shards:
+                self.send(shard, ShardApply(payload))
+
+    def _flush_shard_applies(self) -> None:
+        """Ship buffered remote applies, one frame per shard."""
+        if not self._shard_apply_buf:
+            return
+        buffered, self._shard_apply_buf = self._shard_apply_buf, {}
+        for shard, payloads in buffered.items():
+            if len(payloads) == 1:
+                only = payloads[0]
+                self.send(shard, ShardApply(only))
+            else:
+                self.send(shard, ShardApplyBatch(tuple(payloads)))
 
     def _on_stability_ack(self, msg: StabilityAck, sender: str) -> None:
         dot = Dot.from_dict(msg.dot)
@@ -650,7 +938,25 @@ class DataCenter(Actor):
             self.send(dc, ping)
 
     def _on_sync_ping(self, msg: DCSyncPing, sender: str) -> None:
-        """Resend our stream's suffix to a peer that fell behind."""
+        """Repair the peer's view of our stream and of stability.
+
+        Batched mode piggybacks stability on the ping's state vector
+        and rewinds the link's shipped frontier to the peer's advertised
+        one, so lost frames are re-shipped as ordinary batches (capped
+        at ``SYNC_BATCH`` entries per ping, like the legacy resend).
+        """
+        if self.replication_mode == "batched":
+            self._note_peer_applied(sender, VectorClock(msg.state_vector))
+            link = self._link(sender)
+            link.sent_ts = msg.state_vector.get(self.node_id, 0)
+            self._flush_link(link, limit=self.SYNC_BATCH)
+            self._advance_stability()
+            return
+        self._resend_unbatched(msg, sender)
+        self._reack_held(msg, sender)
+
+    def _resend_unbatched(self, msg: DCSyncPing, sender: str) -> None:
+        """Legacy resend: our stream's suffix, one frame per txn."""
         peer_has = msg.state_vector.get(self.node_id, 0)
         stream = self._stream_dots.get(self.node_id, {})
         resent = 0
@@ -666,7 +972,6 @@ class DataCenter(Actor):
                               size_bytes=txn.byte_size())
                     resent += 1
             ts += 1
-        self._reack_held(msg, sender)
 
     def _reack_held(self, msg: DCSyncPing, sender: str) -> None:
         """Stability anti-entropy: re-ack held dots the peer still
@@ -705,12 +1010,14 @@ class DataCenter(Actor):
         incompatibility K-stability exists to prevent (section 3.8).
         """
         advanced = False
-        stable = self.stable_vector
+        # Work on a plain dict: releasing a long run would otherwise
+        # rebuild an immutable clock per released transaction.
+        stable = self.stable_vector.to_dict()
         progress = True
         while progress:
             progress = False
             for origin_dc, stream in self._stream_dots.items():
-                frontier = stable[origin_dc]
+                frontier = stable.get(origin_dc, 0)
                 while True:
                     dot = stream.get(frontier + 1)
                     if dot is None or not self.kstab.is_stable(dot):
@@ -718,18 +1025,19 @@ class DataCenter(Actor):
                     txn = self._txn_by_dot.get(dot)
                     if txn is None:  # pragma: no cover - defensive
                         break
-                    if not txn.snapshot.vector.leq(stable):
+                    if any(v > stable.get(k, 0) for k, v
+                           in txn.snapshot.vector.items()):
                         break  # blocked on another stream's frontier
                     if not all(d in self._stable_dots
                                for d in txn.snapshot.local_deps):
                         break
                     frontier += 1
-                    stable = stable.advance(origin_dc, frontier)
+                    stable[origin_dc] = frontier
                     self._stable_dots.add(dot)
                     progress = True
                     advanced = True
-        self.stable_vector = stable
         if advanced:
+            self.stable_vector = VectorClock(stable)
             self._push_updates()
 
     # ------------------------------------------------------------------
@@ -737,6 +1045,10 @@ class DataCenter(Actor):
     # ------------------------------------------------------------------
     def _push_updates(self) -> None:
         """Send newly K-stable transactions to interested edge sessions."""
+        if not self.sessions:
+            # Nobody to push to: just move the cursor, skip collection.
+            self._pushed_stable = self.stable_vector
+            return
         new_txns: List[Transaction] = []
         for origin_dc, stream in self._stream_dots.items():
             start = self._pushed_stable[origin_dc]
@@ -781,7 +1093,7 @@ class DataCenter(Actor):
         stable = self.stable_vector.to_dict()
         push = UpdatePush((), stable, prev)
         for session in self.sessions.values():
-            self.send(session.edge_id, push, size_bytes=16)
+            self.send(session.edge_id, push)
 
     # ------------------------------------------------------------------
     # introspection for tests and benchmarks
@@ -792,6 +1104,30 @@ class DataCenter(Actor):
     def holds(self, dot: Dot) -> bool:
         """Has this DC received (applied) the transaction?"""
         return self.dots.seen(dot)
+
+    def stream_gaps(self) -> Dict[str, List[int]]:
+        """Missing stream positions below each applied frontier.
+
+        Contiguous application is a protocol invariant: every position
+        ``1 .. state_vector[origin]`` must have a recorded dot.  A gap
+        means the DC advertised transactions it never stored — exactly
+        the failure batching must not introduce.  The chaos harness
+        checkpoints this; an empty dict is healthy.
+        """
+        gaps: Dict[str, List[int]] = {}
+        for origin in self.state_vector:
+            stream = self._stream_dots.get(origin, {})
+            missing = [ts
+                       for ts in range(1, self.state_vector[origin] + 1)
+                       if ts not in stream]
+            if missing:
+                gaps[origin] = missing
+        return gaps
+
+    def repl_link_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-peer batch/byte counters of the outbound repl links."""
+        return {peer: link.counters()
+                for peer, link in self._repl_links.items()}
 
     def state_digest(self) -> Dict[ObjectKey, Any]:
         """Backend value of every stored key, for convergence checks.

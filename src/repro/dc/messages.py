@@ -9,13 +9,79 @@ Three message families:
   coordinator and the shard servers, plus shard reads.
 
 Messages carry plain dictionaries (the ``to_dict`` forms of the core
-types) so that their simulated byte sizes are meaningful.
+types) so that their simulated byte sizes are meaningful.  Every message
+implements ``wire_size()`` — an honest estimate of its serialised size —
+which the network uses automatically when a ``send()`` call site does not
+pass an explicit ``size_bytes``, making ``NetworkStats.bytes_sent`` a
+real wire-cost metric.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+
+#: Fixed per-message framing overhead (type tag, lengths, checksums).
+HEADER_BYTES = 16
+#: A dot is a (counter, origin) pair: 8 bytes + a short origin id.
+DOT_BYTES = 16
+
+
+def vector_wire_size(vector: Mapping[Any, int]) -> int:
+    """8 bytes per entry, matching ``VectorClock.byte_size``."""
+    return 8 * len(vector)
+
+
+def _writes_wire_size(writes: Sequence[Mapping[str, Any]]) -> int:
+    total = 0
+    for write in writes:
+        key = write.get("key") or {}
+        total += (len(str(key.get("bucket", "")))
+                  + len(str(key.get("key", ""))) + 1)
+        op = write.get("op") or {}
+        total += len(repr(op.get("payload", {})))
+    return total
+
+
+def txn_wire_size(txn: Mapping[str, Any]) -> int:
+    """Wire size of a serialised transaction.
+
+    Mirrors ``Transaction.byte_size`` so dict payloads and live objects
+    account identically: 16-byte dot, 8 bytes per snapshot-vector entry,
+    16 per local dep, 8 per commit entry (minimum one, the symbolic
+    placeholder), plus the writes' keys and payloads.
+    """
+    snapshot = txn.get("snapshot") or {}
+    commit = (txn.get("commit") or {}).get("entries") or {}
+    size = DOT_BYTES
+    size += vector_wire_size(snapshot.get("vector") or {})
+    size += DOT_BYTES * len(snapshot.get("local_deps") or ())
+    size += 8 * max(1, len(commit))
+    size += _writes_wire_size(txn.get("writes") or ())
+    return size
+
+
+def object_state_wire_size(state: Mapping[str, Any]) -> int:
+    """Journal snapshot states shipped in seeds and read replies."""
+    return (24 + len(repr(state.get("base")))
+            + DOT_BYTES * len(state.get("base_dots") or ()))
+
+
+def stream_entry_wire_size(entry: Mapping[str, Any]) -> int:
+    """Wire size of one delta-encoded ``ReplicateBatch`` entry.
+
+    The stream origin's commit entry is implicit in the frame position
+    and the snapshot vector is a delta against the frame base, so an
+    entry whose snapshot sits at the link frontier costs just the dot,
+    the origin id and its writes.
+    """
+    size = DOT_BYTES
+    size += len(str(entry.get("origin", "")))
+    size += vector_wire_size(entry.get("sv") or {})
+    size += DOT_BYTES * len(entry.get("deps") or ())
+    size += 8 * len(entry.get("cx") or {})
+    size += _writes_wire_size(entry.get("writes") or ())
+    return size
 
 
 # -- edge/client <-> DC -------------------------------------------------------
@@ -31,6 +97,12 @@ class SessionOpen:
     local_deps: Tuple[dict, ...] = ()
     credentials: Optional[str] = None
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.edge_id)
+                + 24 * len(self.interest)
+                + vector_wire_size(self.state_vector)
+                + DOT_BYTES * len(self.local_deps))
+
 
 @dataclass(frozen=True, slots=True)
 class SessionAck:
@@ -39,6 +111,11 @@ class SessionAck:
     stable_vector: Dict[str, int]
     accepted: bool = True
     reason: Optional[str] = None
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES
+                + sum(object_state_wire_size(o) for o in self.objects)
+                + vector_wire_size(self.stable_vector))
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +126,11 @@ class InterestChange:
     # The edge's current state vector: seeds must not be older than it.
     state_vector: Dict[str, int] = field(default_factory=dict)
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.edge_id) + 24 * len(self.add)
+                + DOT_BYTES * len(self.remove)
+                + vector_wire_size(self.state_vector))
+
 
 @dataclass(frozen=True, slots=True)
 class ObjectRequest:
@@ -57,11 +139,19 @@ class ObjectRequest:
     type_name: str
     state_vector: Dict[str, int] = field(default_factory=dict)
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.edge_id) + 24
+                + vector_wire_size(self.state_vector))
+
 
 @dataclass(frozen=True, slots=True)
 class ObjectResponse:
     object_state: dict
     stable_vector: Dict[str, int]
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + object_state_wire_size(self.object_state)
+                + vector_wire_size(self.stable_vector))
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +159,9 @@ class EdgeCommit:
     """An edge transaction shipped for (asynchronous) DC commitment."""
 
     txn: dict
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + txn_wire_size(self.txn)
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +171,9 @@ class EdgeCommitBatch:
 
     txns: Tuple[dict, ...]
 
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(txn_wire_size(t) for t in self.txns)
+
 
 @dataclass(frozen=True, slots=True)
 class CommitAck:
@@ -86,11 +182,17 @@ class CommitAck:
     dot: dict
     entries: Dict[str, int]
 
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DOT_BYTES + 8 * len(self.entries)
+
 
 @dataclass(frozen=True, slots=True)
 class CommitReject:
     dot: dict
     reason: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DOT_BYTES + len(self.reason)
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +207,11 @@ class UpdatePush:
     txns: Tuple[dict, ...]
     stable_vector: Dict[str, int]
     prev_vector: Dict[str, int] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + sum(txn_wire_size(t) for t in self.txns)
+                + vector_wire_size(self.stable_vector)
+                + vector_wire_size(self.prev_vector))
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +235,15 @@ class RemoteTxnRequest:
     # spaces collision-free and makes retries idempotent).
     dot: Optional[dict] = None
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.client_id)
+                + 24 * len(self.reads)
+                + sum(48 + len(repr(args))
+                      for _k, _t, _m, args in self.updates)
+                + vector_wire_size(self.snapshot or {})
+                + DOT_BYTES * len(self.local_deps)
+                + (DOT_BYTES if self.dot is not None else 0))
+
 
 @dataclass(frozen=True, slots=True)
 class RemoteTxnReply:
@@ -136,6 +252,10 @@ class RemoteTxnReply:
     committed: bool
     commit_entries: Dict[str, int] = field(default_factory=dict)
     reason: Optional[str] = None
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(repr(self.values))
+                + 8 * len(self.commit_entries))
 
 
 # -- DC <-> DC ------------------------------------------------------------------
@@ -153,21 +273,85 @@ class DCSyncPing:
     state_vector: Dict[str, int]
     stable_vector: Dict[str, int] = field(default_factory=dict)
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + vector_wire_size(self.state_vector)
+                + vector_wire_size(self.stable_vector))
+
 
 @dataclass(frozen=True, slots=True)
 class Replicate:
-    """Geo-replication: one committed transaction, shipped in order."""
+    """Geo-replication: one committed transaction, shipped in order.
+
+    Legacy (unbatched) wire format: live traffic travels in
+    :class:`ReplicateBatch` frames; this survives for the unbatched
+    comparison mode and for compatibility with hand-injected frames.
+    """
 
     txn: dict
     holders: FrozenSet[str]
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + txn_wire_size(self.txn)
+                + 8 * len(self.holders))
+
 
 @dataclass(frozen=True, slots=True)
 class StabilityAck:
-    """Gossip: the sender now also stores the transaction."""
+    """Gossip: the sender now also stores the transaction.
+
+    Legacy (unbatched) per-transaction gossip; batched replication
+    coalesces this into the applied vectors on :class:`ReplicateBatchAck`
+    and :class:`DCSyncPing`.
+    """
 
     dot: dict
     holders: FrozenSet[str]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DOT_BYTES + 8 * len(self.holders)
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicateBatch:
+    """Batched log shipping: a contiguous run of one origin's stream.
+
+    ``entries[i]`` is the delta-encoded transaction committed at origin
+    timestamp ``start_ts + i``: its snapshot vector is a sparse delta
+    against the previous entry's vector — ``base_vector`` seeds the
+    chain and is carried on the frame so decoding is self-contained —
+    and the origin's own commit entry is implicit in the frame
+    position.  The sender
+    piggybacks its applied ``sender_vector``, which doubles as coalesced
+    stability gossip: every transaction it covers is held by the sender.
+    """
+
+    origin_dc: str
+    start_ts: int
+    base_vector: Dict[str, int]
+    entries: Tuple[dict, ...]
+    sender_vector: Dict[str, int]
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.origin_dc) + 8
+                + vector_wire_size(self.base_vector)
+                + vector_wire_size(self.sender_vector)
+                + sum(stream_entry_wire_size(e) for e in self.entries))
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicateBatchAck:
+    """Cumulative acknowledgement of batched replication.
+
+    Carries the receiver's full applied state vector: it advances the
+    sender's delta base for the link *and* stands in for per-transaction
+    ``StabilityAck`` gossip (the receiver holds everything the vector
+    covers).
+    """
+
+    applied_vector: Dict[str, int]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + vector_wire_size(self.applied_vector)
 
 
 # -- intra-DC (coordinator <-> shard server) ----------------------------------------
@@ -177,11 +361,17 @@ class ShardPrepare:
     txid: int
     txn: dict
 
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + txn_wire_size(self.txn)
+
 
 @dataclass(frozen=True, slots=True)
 class ShardVote:
     txid: int
     ok: bool
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 9
 
 
 @dataclass(frozen=True, slots=True)
@@ -189,10 +379,16 @@ class ShardCommit:
     txid: int
     txn: dict
 
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8 + txn_wire_size(self.txn)
+
 
 @dataclass(frozen=True, slots=True)
 class ShardAbort:
     txid: int
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -201,12 +397,29 @@ class ShardApply:
 
     txn: dict
 
+    def wire_size(self) -> int:
+        return HEADER_BYTES + txn_wire_size(self.txn)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardApplyBatch:
+    """A run of applies flushed together after draining a replication
+    batch: one message per touched shard instead of one per transaction."""
+
+    txns: Tuple[dict, ...]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(txn_wire_size(t) for t in self.txns)
+
 
 @dataclass(frozen=True, slots=True)
 class ShardCompactMsg:
     """Fold journalled entries covered by ``frontier`` into base versions."""
 
     frontier: Dict[str, int]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + vector_wire_size(self.frontier)
 
 
 @dataclass(frozen=True, slots=True)
@@ -219,8 +432,16 @@ class ShardRead:
     # transaction's snapshot, section 3.9).
     extra_dots: Tuple[dict, ...] = ()
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + 32
+                + vector_wire_size(self.visible_vector)
+                + DOT_BYTES * len(self.extra_dots))
+
 
 @dataclass(frozen=True, slots=True)
 class ShardReadReply:
     request_id: int
     object_state: dict
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + object_state_wire_size(self.object_state)

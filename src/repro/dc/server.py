@@ -20,9 +20,9 @@ from ..sim.events import EventLoop
 from ..sim.network import Network
 from ..store.kv import VersionedStore
 from ..store.matcache import MaterialisedCache
-from .messages import (ShardAbort, ShardApply, ShardCommit,
-                       ShardCompactMsg, ShardPrepare, ShardRead,
-                       ShardReadReply, ShardVote)
+from .messages import (ShardAbort, ShardApply, ShardApplyBatch,
+                       ShardCommit, ShardCompactMsg, ShardPrepare,
+                       ShardRead, ShardReadReply, ShardVote)
 
 
 class ShardServer(Actor):
@@ -43,6 +43,11 @@ class ShardServer(Actor):
             self._prepared.pop(message.txid, None)
         elif isinstance(message, ShardApply):
             self.store.apply_transaction(Transaction.from_dict(message.txn))
+        elif isinstance(message, ShardApplyBatch):
+            # Replicated applies batched per drain; FIFO links keep the
+            # stream order a single-txn frame would have had.
+            for txn in message.txns:
+                self.store.apply_transaction(Transaction.from_dict(txn))
         elif isinstance(message, ShardRead):
             self._on_read(message, sender)
         elif isinstance(message, ShardCompactMsg):

@@ -52,7 +52,7 @@ class CloudClient(Actor):
             issuer=self.user,
         )
         self._pending[request_id] = (self.now, on_done)
-        self.send(self.connected_dc, request, size_bytes=64)
+        self.send(self.connected_dc, request)
 
     def on_message(self, message: Any, sender: str) -> None:
         if not isinstance(message, RemoteTxnReply):

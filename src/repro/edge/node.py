@@ -311,8 +311,7 @@ class EdgeNode(Actor):
     def _resend_pending(self, dc_id: str) -> None:
         """Resend transactions the (possibly new) DC may lack."""
         for txn in self.unacked.values():
-            self.send(dc_id, EdgeCommit(txn.to_dict()),
-                      size_bytes=txn.byte_size())
+            self.send(dc_id, EdgeCommit(txn.to_dict()))
 
     def _install_seed(self, state: dict,
                       seed_vector: Optional[VectorClock] = None) -> None:
@@ -443,8 +442,7 @@ class EdgeNode(Actor):
             self._flush_writeback()
             return
         for txn in self.unacked.values():
-            self.send(self.connected_dc, EdgeCommit(txn.to_dict()),
-                      size_bytes=txn.byte_size())
+            self.send(self.connected_dc, EdgeCommit(txn.to_dict()))
 
     def _retry_fetches(self) -> None:
         """Re-drive object fetches whose request or response was lost."""
@@ -460,9 +458,7 @@ class EdgeNode(Actor):
         if self.offline or not self.session_open or not self.unacked:
             return
         batch = tuple(txn.to_dict() for txn in self.unacked.values())
-        size = sum(txn.byte_size() for txn in self.unacked.values())
-        self.send(self.connected_dc, EdgeCommitBatch(batch),
-                  size_bytes=size)
+        self.send(self.connected_dc, EdgeCommitBatch(batch))
 
     # ------------------------------------------------------------------
     # reading: snapshot materialisation
@@ -687,8 +683,7 @@ class EdgeNode(Actor):
             self._own_commit_log.append((dot, self.now))
         if self.session_open and not self.offline \
                 and self.writeback_ms is None:
-            self.send(self.connected_dc, EdgeCommit(txn.to_dict()),
-                      size_bytes=txn.byte_size())
+            self.send(self.connected_dc, EdgeCommit(txn.to_dict()))
         # Propagate (e.g. propose to group consensus) *before* notifying
         # subscribers: a subscriber may commit a reaction reentrantly, and
         # proposal order must match commit (and thus causal) order.
@@ -814,7 +809,7 @@ class EdgeNode(Actor):
         pending = self._remote_pending.get(request_id)
         if pending is None or self.offline:
             return
-        self.send(self.connected_dc, pending[1], size_bytes=128)
+        self.send(self.connected_dc, pending[1])
 
     def _on_remote_reply(self, msg: RemoteTxnReply, sender: str) -> None:
         pending = self._remote_pending.get(msg.request_id)

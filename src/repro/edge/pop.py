@@ -121,7 +121,7 @@ class PoPNode(EdgeNode):
         # once the DC's (authoritative, K-stable) push returns; forward
         # upstream unchanged — the DC assigns the commit timestamp.
         if self.session_open and not self.offline:
-            self.send(self.connected_dc, msg, size_bytes=64)
+            self.send(self.connected_dc, msg)
 
     def _child_interest(self, msg: InterestChange, sender: str) -> None:
         table = self._children.get(msg.edge_id)

@@ -4,12 +4,22 @@ Groups communicate point-to-point (WebRTC in the real system): EPaxos
 traffic is wrapped in :class:`GroupMsg`; membership flows through the
 parent; the collaborative cache uses fetch/pull messages; the sync point
 relays DC pushes and commit acknowledgements into the group.
+
+Every message reports an honest ``wire_size()`` (same conventions as
+:mod:`repro.dc.messages`), so ``NetworkStats.bytes_sent`` reflects real
+wire cost on group links too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
+
+from ..dc.messages import (DOT_BYTES, HEADER_BYTES, object_state_wire_size,
+                           txn_wire_size, vector_wire_size)
+
+#: Charged for consensus payloads that do not size themselves.
+_OPAQUE_PAYLOAD_BYTES = 48
 
 
 @dataclass(frozen=True, slots=True)
@@ -20,16 +30,28 @@ class GroupMsg:
     epoch: int
     payload: Any
 
+    def wire_size(self) -> int:
+        sizer = getattr(self.payload, "wire_size", None)
+        inner = sizer() if sizer is not None else _OPAQUE_PAYLOAD_BYTES
+        return HEADER_BYTES + len(self.group_id) + 8 + inner
+
 
 @dataclass(frozen=True, slots=True)
 class JoinGroup:
     node_id: str
     interest: Tuple[Tuple[dict, str], ...] = ()
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.node_id)
+                + sum(24 + len(t) for _k, t in self.interest))
+
 
 @dataclass(frozen=True, slots=True)
 class LeaveGroup:
     node_id: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + len(self.node_id)
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +61,11 @@ class MembershipUpdate:
     parent: str
     members: Tuple[str, ...]
     session_key_id: Optional[str] = None
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.group_id) + 8 + len(self.parent)
+                + sum(len(m) + 1 for m in self.members)
+                + (len(self.session_key_id) if self.session_key_id else 0))
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +79,15 @@ class GroupSeed:
                            Tuple[Tuple[str, int], ...]], ...]
     stable_vector: Dict[str, int]
 
+    def wire_size(self) -> int:
+        size = (HEADER_BYTES + len(self.group_id) + 8
+                + vector_wire_size(self.stable_vector))
+        for _iid, txn, _seq, deps in self.instances:
+            size += 24 + 16 * len(deps)
+            if txn is not None:
+                size += txn_wire_size(txn)
+        return size
+
 
 @dataclass(frozen=True, slots=True)
 class InterestAnnounce:
@@ -60,6 +96,11 @@ class InterestAnnounce:
     member: str
     add: Tuple[Tuple[dict, str], ...] = ()
     remove: Tuple[dict, ...] = ()
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.member)
+                + sum(24 + len(t) for _k, t in self.add)
+                + 24 * len(self.remove))
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +111,10 @@ class GroupFetch:
     type_name: str
     requester: str
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + 24 + len(self.type_name)
+                + len(self.requester))
+
 
 @dataclass(frozen=True, slots=True)
 class GroupFetchReply:
@@ -77,6 +122,13 @@ class GroupFetchReply:
     object_state: Optional[dict]
     state_vector: Dict[str, int]
     from_cache: bool
+
+    def wire_size(self) -> int:
+        size = (HEADER_BYTES + 24 + 1
+                + vector_wire_size(self.state_vector))
+        if self.object_state is not None:
+            size += object_state_wire_size(self.object_state)
+        return size
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +139,11 @@ class GroupRelayPush:
     stable_vector: Dict[str, int]
     prev_vector: Dict[str, int]
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + vector_wire_size(self.stable_vector)
+                + vector_wire_size(self.prev_vector)
+                + sum(txn_wire_size(t) for t in self.txns))
+
 
 @dataclass(frozen=True, slots=True)
 class GroupCommitAck:
@@ -94,6 +151,9 @@ class GroupCommitAck:
 
     dot: dict
     entries: Dict[str, int]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DOT_BYTES + vector_wire_size(self.entries)
 
 
 @dataclass(frozen=True, slots=True)
@@ -103,7 +163,14 @@ class TxnPull:
     requester: str
     dots: Tuple[dict, ...]
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + len(self.requester)
+                + DOT_BYTES * len(self.dots))
+
 
 @dataclass(frozen=True, slots=True)
 class TxnPushMsg:
     txns: Tuple[dict, ...]
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + sum(txn_wire_size(t) for t in self.txns)

@@ -147,8 +147,7 @@ class GroupMember(EdgeNode):
             return
         if self.is_parent:
             for dot, txn in self._ship_queue.items():
-                self.send(dc_id, EdgeCommit(txn.to_dict()),
-                          size_bytes=txn.byte_size())
+                self.send(dc_id, EdgeCommit(txn.to_dict()))
                 self._ship_sent_at[dot] = self.now
 
     # ------------------------------------------------------------------
@@ -259,8 +258,7 @@ class GroupMember(EdgeNode):
     def _send_consensus(self, dst: str, payload: Any) -> None:
         if self.group_offline:
             return
-        self.send(dst, GroupMsg(self.group_id, self.epoch, payload),
-                  size_bytes=64)
+        self.send(dst, GroupMsg(self.group_id, self.epoch, payload))
 
     def _propose_txn(self, txn: Transaction) -> None:
         assert self.replica is not None
@@ -380,8 +378,7 @@ class GroupMember(EdgeNode):
             return  # the DC already assigned its timestamp
         self._ship_queue[txn.dot] = known
         if self.session_open and not self.offline:
-            self.send(self.connected_dc, EdgeCommit(known.to_dict()),
-                      size_bytes=known.byte_size())
+            self.send(self.connected_dc, EdgeCommit(known.to_dict()))
             self._ship_sent_at[txn.dot] = self.now
 
     def _request_missing(self, txn: Transaction) -> None:
@@ -718,8 +715,7 @@ class GroupMember(EdgeNode):
                 sent = self._ship_sent_at.get(dot, -1e9)
                 if now - sent > self.SHIP_RETRY_MS:
                     self.send(self.connected_dc,
-                              EdgeCommit(txn.to_dict()),
-                              size_bytes=txn.byte_size())
+                              EdgeCommit(txn.to_dict()))
                     self._ship_sent_at[dot] = now
         if self._exec_queue:
             self._drain_exec_queue()

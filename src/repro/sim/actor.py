@@ -29,7 +29,9 @@ class Actor:
         network.attach(node_id, self._receive)
 
     # -- messaging ---------------------------------------------------------
-    def send(self, dst: str, message: Any, size_bytes: int = 0) -> bool:
+    def send(self, dst: str, message: Any,
+             size_bytes: Optional[int] = None) -> bool:
+        """Send; ``size_bytes`` defaults to the message's ``wire_size()``."""
         if self.crashed:
             return False
         return self.network.send(self.node_id, dst, message, size_bytes)

@@ -22,6 +22,9 @@ LAN_LATENCY_MS = 0.15
 ETHERNET_LATENCY_MS = 10.0
 CELLULAR_LATENCY_MS = 50.0
 
+#: Charged for messages without a ``wire_size()`` (bare test payloads).
+DEFAULT_MESSAGE_BYTES = 16
+
 
 class LatencyModel:
     """Base latency plus uniform jitter, sampled from the shared RNG."""
@@ -51,9 +54,12 @@ CELLULAR = LatencyModel(CELLULAR_LATENCY_MS, 10.0)
 class NetworkStats:
     """Aggregate counters for benchmark reporting.
 
-    Drops are also attributed to the directed link they occurred on, so
-    fault-injection reports can say *which* link lost the messages rather
-    than only how many disappeared overall.
+    Sends and drops are also attributed to the directed link they
+    occurred on, so benchmark and fault-injection reports can say *which*
+    link carried (or lost) the traffic rather than only the totals.
+    ``bytes_sent`` is a real wire-cost metric: every message carries an
+    honest ``wire_size()`` that the network falls back to when a call
+    site does not pass an explicit size.
     """
 
     def __init__(self) -> None:
@@ -62,6 +68,17 @@ class NetworkStats:
         self.messages_dropped = 0
         self.bytes_sent = 0
         self.drops_by_link: Dict[Tuple[str, str], int] = {}
+        self.bytes_by_link: Dict[Tuple[str, str], int] = {}
+        self.messages_by_link: Dict[Tuple[str, str], int] = {}
+
+    def record_send(self, src: str, dst: str, size_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        link = (src, dst)
+        self.bytes_by_link[link] = \
+            self.bytes_by_link.get(link, 0) + size_bytes
+        self.messages_by_link[link] = \
+            self.messages_by_link.get(link, 0) + 1
 
     def record_drop(self, src: str, dst: str) -> None:
         self.messages_dropped += 1
@@ -71,6 +88,14 @@ class NetworkStats:
     def dropped_on(self, src: str, dst: str) -> int:
         """Messages dropped on the directed link ``src -> dst``."""
         return self.drops_by_link.get((src, dst), 0)
+
+    def bytes_on(self, src: str, dst: str) -> int:
+        """Bytes queued on the directed link ``src -> dst``."""
+        return self.bytes_by_link.get((src, dst), 0)
+
+    def messages_on(self, src: str, dst: str) -> int:
+        """Messages queued on the directed link ``src -> dst``."""
+        return self.messages_by_link.get((src, dst), 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"NetworkStats(sent={self.messages_sent},"
@@ -143,15 +168,22 @@ class Network:
 
     # -- sending ------------------------------------------------------------------
     def send(self, src: str, dst: str, message: Any,
-             size_bytes: int = 0) -> bool:
+             size_bytes: Optional[int] = None) -> bool:
         """Queue a message for delivery; returns False when unreachable.
+
+        When ``size_bytes`` is None the message's own ``wire_size()`` is
+        charged (every protocol message implements it); hot paths that
+        already computed the size while encoding pass it explicitly.
 
         An unreachable destination silently drops the message, as a real
         disconnected socket would: protocols must handle it with retries
         (and they do — that is the point of the paper).
         """
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
+        if size_bytes is None:
+            sizer = getattr(message, "wire_size", None)
+            size_bytes = sizer() if sizer is not None \
+                else DEFAULT_MESSAGE_BYTES
+        self.stats.record_send(src, dst, size_bytes)
         if not self.is_reachable(src, dst):
             self.stats.record_drop(src, dst)
             return False
