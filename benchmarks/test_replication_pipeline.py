@@ -11,6 +11,12 @@ the legacy unbatched wire format on the *same* workload and seed:
   (honest ``wire_size`` accounting);
 * batch/ack frame counts from the per-link counters.
 
+Each mode runs a warm-up phase (DC mesh only, sync pings flowing)
+before the injectors spawn; the measured phase is isolated with
+``NetworkStats.snapshot()``/``since()`` so warm-up traffic is not
+attributed to the workload.  A separate small traced run contributes a
+per-hop latency-breakdown section to the report.
+
 Writes ``BENCH_replication.json`` at the repo root and gates on the
 acceptance criteria: >= 5x throughput and >= 40% wire-byte reduction,
 with byte-identical state digests across the two modes.
@@ -27,6 +33,7 @@ from repro.core import (CommitStamp, Dot, ObjectKey, Snapshot,
 from repro.crdt.base import Operation
 from repro.dc import DataCenter
 from repro.dc.messages import EdgeCommitBatch
+from repro.obs import TraceRecorder, latency_breakdown
 from repro.sim import LatencyModel, Simulation
 from repro.sim.actor import Actor
 
@@ -79,8 +86,10 @@ class Injector(Actor):
         pass  # CommitAcks need no action here
 
 
-def run_mode(mode: str):
-    sim = Simulation(seed=42, default_latency=LatencyModel(1.0))
+WARMUP_MS = 500.0
+
+
+def _build_mesh(sim: Simulation, mode: str):
     dcs = []
     for dc_id in DC_IDS:
         dc = sim.spawn(DataCenter, dc_id,
@@ -90,6 +99,16 @@ def run_mode(mode: str):
     for a, b in DC_LINKS:
         if a < b:
             sim.network.set_link(a, b, LatencyModel(5.0))
+    return dcs
+
+
+def run_mode(mode: str):
+    sim = Simulation(seed=42, default_latency=LatencyModel(1.0))
+    dcs = _build_mesh(sim, mode)
+    # Warm-up: let sync pings and keepalives flow before any workload,
+    # then snapshot so the measured phase counts workload traffic only.
+    sim.run_for(WARMUP_MS)
+    baseline = sim.network.stats.snapshot()
     for i, dc_id in enumerate(DC_IDS):
         sim.spawn(Injector, f"inj{i}", dc_id=dc_id,
                   total=TXNS_PER_INJECTOR)
@@ -97,9 +116,9 @@ def run_mode(mode: str):
     sim.run_for(HORIZON_MS)
     wall_s = time.perf_counter() - start
     committed = sum(dc.stats["committed"] for dc in dcs)
-    dc_bytes = sum(sim.network.stats.bytes_on(a, b) for a, b in DC_LINKS)
-    dc_msgs = sum(sim.network.stats.messages_on(a, b)
-                  for a, b in DC_LINKS)
+    phase = sim.network.stats.since(baseline)
+    dc_bytes = sum(phase.bytes_on(a, b) for a, b in DC_LINKS)
+    dc_msgs = sum(phase.messages_on(a, b) for a, b in DC_LINKS)
     return {
         "wall_seconds": wall_s,
         "committed": committed,
@@ -117,6 +136,26 @@ def run_mode(mode: str):
                     for dc in dcs],
         "state_vectors": [dc.state_vector.to_dict() for dc in dcs],
     }
+
+
+def run_traced_breakdown(txns_per_injector: int = 100,
+                         horizon_ms: float = 1500.0):
+    """A small traced batched run for the latency-breakdown section.
+
+    Kept outside the timed comparison so recorder overhead cannot skew
+    the speedup gate; the pipeline behaviour is identical (tracing is
+    a pure observer).
+    """
+    sim = Simulation(seed=42, default_latency=LatencyModel(1.0))
+    recorder = TraceRecorder()
+    sim.network.obs = recorder
+    _build_mesh(sim, "batched")
+    sim.run_for(WARMUP_MS)
+    for i, dc_id in enumerate(DC_IDS):
+        sim.spawn(Injector, f"inj{i}", dc_id=dc_id,
+                  total=txns_per_injector)
+    sim.run_for(horizon_ms)
+    return latency_breakdown(recorder)
 
 
 @pytest.mark.benchmark(group="replication-pipeline")
@@ -148,6 +187,7 @@ def test_batched_pipeline_speedup_recorded(benchmark):
         "speedup": speedup,
         "bytes_per_txn_reduction": byte_reduction,
         "digest_parity": batched["digests"] == unbatched["digests"],
+        "latency_breakdown": run_traced_breakdown(),
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_replication.json"
     out.write_text(json.dumps(report, indent=2) + "\n")

@@ -51,6 +51,13 @@ def _freshness(node: ast.AST, params: "set[str]") -> Optional[str]:
     return None
 
 
+def _defines_wire_size(cls_node: ast.ClassDef) -> bool:
+    """True when the class body defines a ``wire_size`` method."""
+    return any(isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+               and stmt.name == "wire_size"
+               for stmt in cls_node.body)
+
+
 class MessageHygieneRule(Rule):
     name = "message-hygiene"
     codes = {
@@ -58,6 +65,7 @@ class MessageHygieneRule(Rule):
         "M202": "message field type must be immutable/serialisable",
         "M203": "mutable container passed into a message constructor "
                 "without a copy",
+        "M204": "message dataclass must implement wire_size()",
     }
 
     # -- per messages.py module -------------------------------------------
@@ -75,6 +83,13 @@ class MessageHygieneRule(Rule):
                     cls.node.col_offset,
                     f"message dataclass {cls.name} is not frozen=True "
                     "(messages must be immutable values)", cls.name))
+            if not _defines_wire_size(cls.node):
+                findings.append(Finding(
+                    "M204", module.path, cls.node.lineno,
+                    cls.node.col_offset,
+                    f"message dataclass {cls.name} has no wire_size(); "
+                    "the network silently charges the default byte "
+                    "cost, skewing every bytes_sent metric", cls.name))
             for stmt in cls.node.body:
                 if not (isinstance(stmt, ast.AnnAssign)
                         and isinstance(stmt.target, ast.Name)):

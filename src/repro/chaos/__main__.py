@@ -50,6 +50,10 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
     parser.add_argument("--replay", default=None, metavar="FILE",
                         help="re-run a saved failing schedule "
                              "(JSON with topology, seed, schedule)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record lifecycle spans and write them "
+                             "here (JSON lines); needs a single "
+                             "--topology and --seed")
     return parser.parse_args(argv)
 
 
@@ -64,6 +68,34 @@ def _self_check(args: argparse.Namespace) -> int:
         return 0
     print("self-check FAILED: the planted bug went undetected")
     return 1
+
+
+def _traced_scenario(args: argparse.Namespace) -> int:
+    """Run one scenario with lifecycle tracing; write the span log.
+
+    Tracing is a pure observer (see ``repro.obs``): the scenario result
+    is byte-identical with or without it, so the trace rides along as a
+    separate artifact next to the report.
+    """
+    from repro.obs import TraceRecorder, to_jsonl
+    if args.topology == "all" or args.seed is None:
+        print("--trace needs a single scenario: pass --topology T "
+              "--seed N", file=sys.stderr)
+        return 2
+    config = ScenarioConfig(topology=args.topology, seed=args.seed,
+                            n_txns=args.txns, window_ms=args.window,
+                            max_faults=args.max_faults)
+    recorder = TraceRecorder()
+    result = run_scenario(config, recorder=recorder)
+    with open(args.trace, "w") as handle:
+        handle.write(to_jsonl(recorder))
+    print(f"trace: {len(recorder.spans)} spans written to {args.trace}")
+    if args.report:
+        write_report({"scenarios": [result.to_dict()],
+                      "ok": result.ok}, args.report)
+        print(f"chaos: report written to {args.report}")
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0 if result.ok else 1
 
 
 def _replay(args: argparse.Namespace) -> int:
@@ -91,6 +123,8 @@ def main(argv: List[str] = None) -> int:
         return _self_check(args)
     if args.replay:
         return _replay(args)
+    if args.trace:
+        return _traced_scenario(args)
 
     topologies = TOPOLOGIES if args.topology == "all" \
         else (args.topology,)

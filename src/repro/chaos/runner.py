@@ -383,10 +383,20 @@ class ScenarioResult:
 
 def run_scenario(config: ScenarioConfig,
                  schedule: Optional[Sequence[FaultEvent]] = None,
-                 edge_cls: type = EdgeNode) -> ScenarioResult:
-    """Run one seeded scenario; deterministic for (config, schedule)."""
+                 edge_cls: type = EdgeNode,
+                 recorder: Optional[Any] = None) -> ScenarioResult:
+    """Run one seeded scenario; deterministic for (config, schedule).
+
+    ``recorder`` optionally attaches a lifecycle trace recorder
+    (``repro.obs.TraceRecorder``) to the world's network.  The recorder
+    is a pure observer — it never touches RNG or scheduling — so the
+    result (and every digest derived from it) is byte-identical with
+    tracing on or off; the trace itself is a separate artifact.
+    """
     world = build_world(config.topology, config.seed, edge_cls=edge_cls)
     sim = world.sim
+    if recorder is not None:
+        sim.network.obs = recorder
     start = sim.now
     if schedule is None:
         schedule = generate_schedule(config.seed, world.spec,

@@ -30,6 +30,7 @@ from ..core.dot import Dot, DotTracker
 from ..core.kstable import KStabilityTracker
 from ..core.txn import CommitStamp, ObjectKey, Snapshot, Transaction, WriteOp
 from ..crdt.base import state_from_dict
+from ..obs.trace import DC_COMMIT, K_STABLE, REPLICATION
 from ..security.enforcement import SecurityEnforcer
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
@@ -234,11 +235,14 @@ class DataCenter(Actor):
         # Txns committed here but not yet K-stable, per edge push cursor:
         self._pushed_stable = VectorClock.zero()
 
+        # ``replicated_in`` counts remote transactions actually applied
+        # (once each); duplicate or stale stream entries — anti-entropy
+        # resends, migration copies — land in ``repl_dup_in`` instead.
         self.stats = {"committed": 0, "replicated_in": 0,
                       "edge_commits": 0, "remote_txns": 0,
                       "rejected": 0, "repl_batches_out": 0,
                       "repl_batches_in": 0, "repl_acks_out": 0,
-                      "repl_acks_in": 0}
+                      "repl_acks_in": 0, "repl_dup_in": 0}
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -437,6 +441,9 @@ class DataCenter(Actor):
         self._txn_by_dot[txn.dot] = txn
         self.state_vector = self.state_vector.advance(self.node_id, ts)
         self.stats["committed"] += 1
+        if self.obs.enabled:
+            self.obs.record(DC_COMMIT, txn.dot, self.node_id, self.now,
+                            ts=ts)
         if notify_shards:
             # Already committed elsewhere (edge txn); store, no 2PC.
             for shard, _keys in self.ring.partition(txn.keys).items():
@@ -462,6 +469,9 @@ class DataCenter(Actor):
         for dc in self.peer_dcs:
             self.send(dc, Replicate(payload, holders),
                       size_bytes=txn.byte_size())
+            if self.obs.enabled:
+                self.obs.record(REPLICATION, txn.dot, self.node_id,
+                                self.now, phase="ship", peer=dc)
 
     # ------------------------------------------------------------------
     # remote (in-DC) transactions: baseline clients & migration (3.6/3.9)
@@ -600,7 +610,8 @@ class DataCenter(Actor):
     def _on_replicate(self, msg: Replicate, sender: str) -> None:
         """Legacy per-transaction replication (and hand-injected frames)."""
         txn = Transaction.from_dict(msg.txn)
-        self.stats["replicated_in"] += 1
+        if self.dots.seen(txn.dot):
+            self.stats["repl_dup_in"] += 1
         self.kstab.record(txn.dot, set(msg.holders) | {self.node_id})
         queue = self._repl_queues.setdefault(sender, _ReplQueue())
         queue.insert(txn.commit.entries.get(sender), txn)
@@ -670,6 +681,12 @@ class DataCenter(Actor):
             frame = ReplicateBatch(self.node_id, lo, base.to_dict(),
                                    tuple(entries), sender_vector)
             self.send(link.peer, frame, size_bytes=size)
+            if self.obs.enabled:
+                stream = self._stream_dots[self.node_id]
+                for ts in range(lo, hi + 1):
+                    self.obs.record(REPLICATION, stream[ts],
+                                    self.node_id, self.now,
+                                    phase="ship", peer=link.peer, ts=ts)
             link.sent_ts = hi
             link.batches_sent += 1
             link.txns_sent += len(entries)
@@ -710,8 +727,11 @@ class DataCenter(Actor):
         applied = False
         for i, entry in enumerate(msg.entries):
             ts = msg.start_ts + i
-            self.stats["replicated_in"] += 1
             txn = decode_stream_entry(entry, origin_dc, ts, base)
+            if self.dots.seen(txn.dot):
+                # Stale resend or migration duplicate: account it as a
+                # duplicate, never as fresh replication traffic.
+                self.stats["repl_dup_in"] += 1
             # The chain continues from the entry just decoded.
             base = txn.snapshot.vector
             # Fast path: with nothing queued ahead of it, an in-order
@@ -886,6 +906,14 @@ class DataCenter(Actor):
 
     def _apply_remote_txn(self, origin_dc: str, ts: int,
                           txn: Transaction) -> None:
+        # The *only* place a remote transaction enters this DC's state:
+        # counting here makes ``replicated_in`` exact (one per unique
+        # transaction), immune to anti-entropy resend inflation.
+        self.stats["replicated_in"] += 1
+        if self.obs.enabled:
+            self.obs.record(REPLICATION, txn.dot, self.node_id,
+                            self.now, phase="apply", origin=origin_dc,
+                            ts=ts)
         self.lamport.observe(txn.dot.counter)
         self.dots.observe(txn.dot)
         self._txn_by_dot[txn.dot] = txn
@@ -944,11 +972,30 @@ class DataCenter(Actor):
         and rewinds the link's shipped frontier to the peer's advertised
         one, so lost frames are re-shipped as ordinary batches (capped
         at ``SYNC_BATCH`` entries per ping, like the legacy resend).
+
+        A ping's advertised frontier is one RTT stale: frames shipped
+        inside that window are still in flight, not lost.  Rewinding on
+        every ping therefore resent the in-flight suffix each period —
+        pure duplicate traffic that the receive queue's dedup set no
+        longer filters once the entries have been applied and popped.
+        The rewind now waits for evidence of loss: the peer advertising
+        the *same* stalled frontier twice in a row.
         """
         if self.replication_mode == "batched":
             self._note_peer_applied(sender, VectorClock(msg.state_vector))
             link = self._link(sender)
-            link.sent_ts = msg.state_vector.get(self.node_id, 0)
+            peer_has = msg.state_vector.get(self.node_id, 0)
+            if peer_has > link.sent_ts:
+                # The peer holds entries we never shipped on this link
+                # (received via a third DC after a migration): skip them.
+                link.sent_ts = peer_has
+            elif peer_has < link.sent_ts \
+                    and peer_has <= link.last_advert:
+                # Stalled across a full sync period: the in-flight
+                # window has drained, so the gap is genuine loss.
+                link.sent_ts = peer_has
+                link.rewinds += 1
+            link.last_advert = peer_has
             self._flush_link(link, limit=self.SYNC_BATCH)
             self._advance_stability()
             return
@@ -1034,6 +1081,10 @@ class DataCenter(Actor):
                     frontier += 1
                     stable[origin_dc] = frontier
                     self._stable_dots.add(dot)
+                    if self.obs.enabled:
+                        self.obs.record(K_STABLE, dot, self.node_id,
+                                        self.now, origin=origin_dc,
+                                        ts=frontier)
                     progress = True
                     advanced = True
         if advanced:

@@ -91,26 +91,33 @@ class ReplLink:
     The commit stream itself is the send buffer: ``sent_ts`` marks the
     prefix of our own stream already shipped on this link, so a flush
     just walks ``sent_ts + 1 .. sequencer``.  Loss recovery rewinds
-    ``sent_ts`` from the peer's advertised frontier (sync pings).
+    ``sent_ts`` from the peer's advertised frontier (sync pings);
+    ``last_advert`` remembers the previous advert so a rewind only
+    fires when the peer *stalled* — an advert is one RTT stale, and
+    rewinding past frames still in flight would resend (and at the
+    receiver double-count) entries that were never lost.
     The counters feed the replication benchmarks.
     """
 
-    __slots__ = ("peer", "sent_ts", "batches_sent", "txns_sent",
-                 "bytes_sent", "acks_in")
+    __slots__ = ("peer", "sent_ts", "last_advert", "batches_sent",
+                 "txns_sent", "bytes_sent", "acks_in", "rewinds")
 
     def __init__(self, peer: str):
         self.peer = peer
         self.sent_ts = 0
+        self.last_advert = -1
         self.batches_sent = 0
         self.txns_sent = 0
         self.bytes_sent = 0
         self.acks_in = 0
+        self.rewinds = 0
 
     def counters(self) -> Dict[str, int]:
         return {"batches_sent": self.batches_sent,
                 "txns_sent": self.txns_sent,
                 "bytes_sent": self.bytes_sent,
-                "acks_in": self.acks_in}
+                "acks_in": self.acks_in,
+                "rewinds": self.rewinds}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ReplLink({self.peer} sent_ts={self.sent_ts}"

@@ -19,6 +19,7 @@ from ..core.dot import Dot, DotTracker
 from ..core.journal import ObjectJournal
 from ..core.txn import CommitStamp, ObjectKey, Snapshot, Transaction
 from ..crdt.base import OpBasedCRDT, new_crdt
+from ..obs.trace import EDGE_SUBMIT, SYMBOLIC_COMMIT, VISIBLE
 from ..dc.messages import (CommitAck, CommitReject, EdgeCommit,
                            EdgeCommitBatch, InterestChange, ObjectRequest,
                            ObjectResponse,
@@ -374,6 +375,9 @@ class EdgeNode(Actor):
                 self.cache.apply_transaction(txn)
                 touched.extend(k for k in txn.keys
                                if k in self._interest_types)
+                if self.obs.enabled:
+                    self.obs.record(VISIBLE, txn.dot, self.node_id,
+                                    self.now, via="push", frm=sender)
         self._advance_vector(VectorClock(msg.stable_vector))
         self._notify_subscribers(touched)
 
@@ -679,6 +683,12 @@ class EdgeNode(Actor):
         self.cache.apply_transaction(txn)
         self._uncovered[dot] = txn       # read-my-writes
         self.unacked[dot] = txn
+        if self.obs.enabled:
+            # Submit is stamped at transaction *start*: the gap to the
+            # symbolic commit is the edge execution time (reads, waits).
+            self.obs.record(EDGE_SUBMIT, dot, self.node_id,
+                            ctx.started_at)
+            self.obs.record(SYMBOLIC_COMMIT, dot, self.node_id, self.now)
         if self.trace_sessions:
             self._own_commit_log.append((dot, self.now))
         if self.session_open and not self.offline \

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional, Tuple
 
+from ..dc.messages import HEADER_BYTES, txn_wire_size
+
 # Instance identifier: (replica id, slot number).
 InstanceId = Tuple[str, int]
 
@@ -20,9 +22,38 @@ Ballot = Tuple[int, str]
 
 INITIAL_BALLOT_EPOCH = 0
 
+#: Charged for commands that are not serialised transactions (tests
+#: propose bare strings/dicts); real group proposals are txn dicts and
+#: get the exact ``txn_wire_size`` accounting.
+OPAQUE_COMMAND_BYTES = 32
+
 
 def initial_ballot(leader: str) -> Ballot:
     return (INITIAL_BALLOT_EPOCH, leader)
+
+
+def _instance_wire_size(instance: InstanceId) -> int:
+    """Replica id plus an 8-byte slot number."""
+    return len(instance[0]) + 8
+
+
+def _ballot_wire_size(ballot: Optional[Ballot]) -> int:
+    """8-byte epoch plus the tie-breaking replica id (1 when absent)."""
+    if ballot is None:
+        return 1
+    return 8 + len(ballot[1])
+
+
+def _deps_wire_size(deps: FrozenSet[InstanceId]) -> int:
+    return sum(_instance_wire_size(d) for d in deps)
+
+
+def _command_wire_size(command: Any) -> int:
+    if command is None:
+        return 1
+    if isinstance(command, dict) and "dot" in command:
+        return txn_wire_size(command)
+    return OPAQUE_COMMAND_BYTES
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +64,12 @@ class PreAccept:
     seq: int
     deps: FrozenSet[InstanceId]
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _ballot_wire_size(self.ballot)
+                + _command_wire_size(self.command) + 8
+                + _deps_wire_size(self.deps))
+
 
 @dataclass(frozen=True, slots=True)
 class PreAcceptReply:
@@ -41,6 +78,11 @@ class PreAcceptReply:
     ok: bool
     seq: int
     deps: FrozenSet[InstanceId]
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _ballot_wire_size(self.ballot) + 1 + 8
+                + _deps_wire_size(self.deps))
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,12 +93,22 @@ class Accept:
     seq: int
     deps: FrozenSet[InstanceId]
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _ballot_wire_size(self.ballot)
+                + _command_wire_size(self.command) + 8
+                + _deps_wire_size(self.deps))
+
 
 @dataclass(frozen=True, slots=True)
 class AcceptReply:
     instance: InstanceId
     ballot: Ballot
     ok: bool
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _ballot_wire_size(self.ballot) + 1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +118,11 @@ class Commit:
     seq: int
     deps: FrozenSet[InstanceId]
 
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _command_wire_size(self.command) + 8
+                + _deps_wire_size(self.deps))
+
 
 @dataclass(frozen=True, slots=True)
 class Prepare:
@@ -73,6 +130,10 @@ class Prepare:
 
     instance: InstanceId
     ballot: Ballot
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _ballot_wire_size(self.ballot))
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +147,14 @@ class PrepareReply:
     command: Any
     seq: int
     deps: FrozenSet[InstanceId]
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + _instance_wire_size(self.instance)
+                + _ballot_wire_size(self.ballot) + 1
+                + len(self.status)
+                + _ballot_wire_size(self.accepted_ballot)
+                + _command_wire_size(self.command) + 8
+                + _deps_wire_size(self.deps))
 
 
 EPaxosMessage = (PreAccept, PreAcceptReply, Accept, AcceptReply, Commit,

@@ -38,6 +38,7 @@ from ..dc.messages import EdgeCommit, ObjectResponse, UpdatePush
 from ..edge.node import EdgeNode, _RunningTxn
 from ..epaxos.messages import InstanceId
 from ..epaxos.replica import EPaxosReplica
+from ..obs.trace import GROUP_ORDER
 from ..sim.events import EventLoop
 from ..sim.network import Network
 from .messages import (GroupCommitAck, GroupFetch, GroupFetchReply,
@@ -350,24 +351,32 @@ class GroupMember(EdgeNode):
                     continue
             if txn.dot in self._psi_pending:
                 self._exec_queue.popleft()
-                self.visibility_log.append(txn)
+                self._log_visible(txn)
                 self._apply_psi_commit(txn)
                 self._after_visible(txn)
                 continue
             if self.dots.seen(txn.dot):
                 # Already integrated (own txn, or arrived via DC push).
                 self._exec_queue.popleft()
-                self.visibility_log.append(txn)
+                self._log_visible(txn)
                 self._after_visible(txn)
                 continue
             if self.integrate_foreign_txn(txn):
                 self._exec_queue.popleft()
-                self.visibility_log.append(txn)
+                self._log_visible(txn)
                 self._after_visible(txn)
                 continue
             # Blocked on missing causal dependencies: pull them.
             self._request_missing(txn)
             return
+
+    def _log_visible(self, txn: Transaction) -> None:
+        """Append to the group visibility order (the EPaxos outcome)."""
+        self.visibility_log.append(txn)
+        if self.obs.enabled:
+            self.obs.record(GROUP_ORDER, txn.dot, self.node_id,
+                            self.now, group=self.group_id,
+                            slot=len(self.visibility_log))
 
     def _after_visible(self, txn: Transaction) -> None:
         """Sync point: ship in visibility order (section 5.1.3)."""

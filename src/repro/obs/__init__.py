@@ -1,0 +1,37 @@
+"""Observability: metrics registry, lifecycle tracing and exporters.
+
+End-to-end transaction observability for the simulated Colony world
+(paper section 6 measures exactly this path).  Attach a
+:class:`TraceRecorder` to a simulation's network and every transaction
+emits dot-keyed spans at the seven lifecycle stations — edge submit,
+symbolic commit, group (EPaxos) ordering, DC commit, per-link
+replication ship/apply, K-stability, remote-edge visibility:
+
+>>> from repro.obs import TraceRecorder, latency_breakdown
+>>> # sim = Simulation(seed=0); sim.network.obs = TraceRecorder()
+>>> # ... run ...; print(format_breakdown(latency_breakdown(recorder)))
+
+Tracing is digest-neutral by construction: the recorder only appends
+to a Python list, so protocol behaviour, RNG draws and event order are
+bit-identical with tracing on or off.  ``python -m repro.obs`` runs a
+workload or chaos schedule and prints the per-hop breakdown.
+"""
+
+from .export import (format_breakdown, latency_breakdown, to_chrome_trace,
+                     to_jsonl)
+from .registry import (DEFAULT_LATENCY_BUCKETS_MS, Counter, Gauge,
+                       Histogram, MetricsRegistry)
+from .trace import (DC_COMMIT, EDGE_SUBMIT, GROUP_ORDER, K_STABLE,
+                    NULL_RECORDER, REPLICATION, SPAN_KINDS,
+                    SYMBOLIC_COMMIT, VISIBLE, NullRecorder, Span,
+                    TraceRecorder)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Span", "TraceRecorder", "NullRecorder", "NULL_RECORDER",
+    "SPAN_KINDS", "EDGE_SUBMIT", "SYMBOLIC_COMMIT", "GROUP_ORDER",
+    "DC_COMMIT", "REPLICATION", "K_STABLE", "VISIBLE",
+    "to_jsonl", "to_chrome_trace", "latency_breakdown",
+    "format_breakdown",
+]

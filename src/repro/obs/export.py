@@ -1,0 +1,175 @@
+"""Trace exporters: JSON lines, Chrome trace and latency breakdown.
+
+Three views over one :class:`~repro.obs.trace.TraceRecorder`:
+
+* :func:`to_jsonl` — one span per line, the archival format the chaos
+  runner and CI artifacts use;
+* :func:`to_chrome_trace` — a ``traceEvents`` JSON loadable in
+  ``about:tracing`` or https://ui.perfetto.dev: each node is a track
+  (pid), each span an instant event, and every transaction an async
+  arrow from its first to its last station, all over *simulated* time;
+* :func:`latency_breakdown` — per-hop latency statistics along the
+  submit → commit → replicated → K-stable → visible path, aggregated
+  into fixed-bucket histograms so breakdowns from sharded runs merge.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import Histogram, MetricsRegistry
+from .trace import (DC_COMMIT, EDGE_SUBMIT, GROUP_ORDER, K_STABLE,
+                    REPLICATION, SYMBOLIC_COMMIT, VISIBLE, Span,
+                    TraceRecorder)
+
+#: Hop definitions: (row label, from-kind, to-kind).  ``repl.apply`` and
+#: per-node filters are resolved in :func:`_hop_samples`.
+HOPS: Tuple[Tuple[str, str, str], ...] = (
+    ("submit->symbolic", EDGE_SUBMIT, SYMBOLIC_COMMIT),
+    ("symbolic->group-order", SYMBOLIC_COMMIT, GROUP_ORDER),
+    ("submit->dc-commit", EDGE_SUBMIT, DC_COMMIT),
+    ("dc-commit->replicated", DC_COMMIT, REPLICATION),
+    ("replicated->k-stable", REPLICATION, K_STABLE),
+    ("k-stable->visible", K_STABLE, VISIBLE),
+    ("end-to-end", EDGE_SUBMIT, VISIBLE),
+)
+
+
+def to_jsonl(recorder: TraceRecorder) -> str:
+    """One JSON object per span, in deterministic record order."""
+    return "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                   for span in recorder.spans)
+
+
+def to_chrome_trace(recorder: TraceRecorder) -> Dict[str, Any]:
+    """Chrome ``traceEvents`` over simulated time (1 sim ms = 1 ms).
+
+    Every node gets its own process track; each span is an instant
+    event on its node's track, and each transaction with at least two
+    stations draws an async slice (``b``/``e`` pair keyed by the dot)
+    so the viewer connects its lifecycle across nodes.
+    """
+    events: List[Dict[str, Any]] = []
+    nodes: List[str] = []
+    for span in recorder.spans:
+        if span.node not in nodes:
+            nodes.append(span.node)
+    for index, node in enumerate(nodes):
+        events.append({"ph": "M", "pid": index, "tid": 0,
+                       "name": "process_name",
+                       "args": {"name": node}})
+    pid = {node: index for index, node in enumerate(nodes)}
+    for span in recorder.spans:
+        events.append({
+            "ph": "i", "s": "p", "name": span.kind,
+            "pid": pid[span.node], "tid": 0,
+            "ts": span.t * 1000.0,  # sim ms -> trace µs
+            "args": dict(span.attrs, dot=str(span.dot)),
+        })
+    for dot, spans in recorder.by_dot().items():
+        if len(spans) < 2:
+            continue
+        first = min(spans, key=lambda s: s.t)
+        last = max(spans, key=lambda s: s.t)
+        ident = str(dot)
+        events.append({"ph": "b", "cat": "txn", "name": "txn",
+                       "id": ident, "pid": pid[first.node], "tid": 0,
+                       "ts": first.t * 1000.0})
+        events.append({"ph": "e", "cat": "txn", "name": "txn",
+                       "id": ident, "pid": pid[last.node], "tid": 0,
+                       "ts": last.t * 1000.0})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _station_times(spans: List[Span]) -> Dict[str, float]:
+    """Earliest time each lifecycle station was reached for one dot.
+
+    ``repl`` means the first *apply* at a sibling DC (the transaction
+    became replicated); ``dc.k_stable`` is the earliest stable cut at
+    any DC.  Each DC releases its own edge pushes only after its own
+    cut admits the dot, and every cut is at or after the earliest one,
+    so the k-stable -> visible hop is non-negative by construction.
+    """
+    times: Dict[str, float] = {}
+    for span in spans:
+        if span.kind == REPLICATION \
+                and span.attrs.get("phase") != "apply":
+            continue
+        if span.kind not in times or span.t < times[span.kind]:
+            times[span.kind] = span.t
+    return times
+
+
+def _hop_samples(recorder: TraceRecorder) -> Dict[str, List[float]]:
+    samples: Dict[str, List[float]] = {label: [] for label, _, _ in HOPS}
+    for spans in recorder.by_dot().values():
+        times = _station_times(spans)
+        for label, src, dst in HOPS:
+            start = times.get(src)
+            if start is None and src == EDGE_SUBMIT:
+                # DC-native transactions (migrated, injected) have no
+                # edge-side spans; their lifecycle starts at DC commit.
+                start = times.get(DC_COMMIT)
+            end = times.get(dst)
+            if start is None or end is None:
+                continue
+            samples[label].append(end - start)
+    return samples
+
+
+def latency_breakdown(recorder: TraceRecorder,
+                      registry: Optional[MetricsRegistry] = None) \
+        -> Dict[str, Any]:
+    """Per-hop latency stats; also fills ``obs.hop.*`` histograms."""
+    if registry is None:
+        registry = MetricsRegistry()
+    rows: Dict[str, Any] = {}
+    for label, samples in _hop_samples(recorder).items():
+        histogram = registry.histogram(f"obs.hop.{label}")
+        for value in samples:
+            histogram.observe(value)
+        rows[label] = _row_stats(histogram, samples)
+    return {"hops": rows, "transactions": len(recorder.by_dot()),
+            "spans": len(recorder.spans)}
+
+
+def _row_stats(histogram: Histogram,
+               samples: List[float]) -> Dict[str, Any]:
+    if not samples:
+        return {"count": 0}
+    ordered = sorted(samples)
+
+    def exact_quantile(q: float) -> float:
+        return ordered[min(len(ordered) - 1,
+                           int(q * len(ordered)))]
+
+    return {
+        "count": len(ordered),
+        "min_ms": ordered[0],
+        "mean_ms": sum(ordered) / len(ordered),
+        "p50_ms": exact_quantile(0.50),
+        "p95_ms": exact_quantile(0.95),
+        "max_ms": ordered[-1],
+        "bucket_p95_ms": histogram.quantile(0.95),
+    }
+
+
+def format_breakdown(breakdown: Dict[str, Any]) -> str:
+    """Render the breakdown as a fixed-width table."""
+    header = (f"{'hop':<24}{'count':>8}{'min':>10}{'mean':>10}"
+              f"{'p50':>10}{'p95':>10}{'max':>10}")
+    lines = [header, "-" * len(header)]
+    for label, row in breakdown["hops"].items():
+        if not row["count"]:
+            lines.append(f"{label:<24}{0:>8}{'-':>10}{'-':>10}"
+                         f"{'-':>10}{'-':>10}{'-':>10}")
+            continue
+        lines.append(
+            f"{label:<24}{row['count']:>8}"
+            f"{row['min_ms']:>10.2f}{row['mean_ms']:>10.2f}"
+            f"{row['p50_ms']:>10.2f}{row['p95_ms']:>10.2f}"
+            f"{row['max_ms']:>10.2f}")
+    lines.append(f"({breakdown['transactions']} transactions,"
+                 f" {breakdown['spans']} spans; times in sim ms)")
+    return "\n".join(lines)

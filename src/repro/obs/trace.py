@@ -1,0 +1,137 @@
+"""Dot-keyed lifecycle tracing (Dapper-style spans over simulated time).
+
+Every transaction is identified by its :class:`~repro.core.dot.Dot`
+from birth at an edge to visibility at remote edges; the trace
+recorder collects point spans at each lifecycle station:
+
+========================  ==================================================
+kind                      emitted when
+========================  ==================================================
+``edge.submit``           the transaction body finished executing at an
+                          edge node (timestamped at transaction *start*)
+``edge.symbolic_commit``  the edge durably committed it with a symbolic
+                          commit stamp (paper section 3.7)
+``group.order``           a peer group's EPaxos instance executed it, i.e.
+                          it entered the group visibility order (5.1.4)
+``dc.commit``             a DC sequenced it into its commit stream
+``repl``                  a replication station: ``phase="ship"`` when a
+                          DC ships it on a directed link, ``phase="apply"``
+                          when a sibling DC applies it from the stream
+``dc.k_stable``           a DC's causally-closed stable cut admitted it
+                          (K-stability, section 3.8)
+``edge.visible``          a remote edge applied it from a K-stable push
+========================  ==================================================
+
+The recorder is *passive*: :meth:`TraceRecorder.record` only appends to
+a list.  It never reads the RNG, never schedules events and never sends
+messages, so enabling it cannot perturb the simulation — the digest-
+neutrality tests pin this down.  Instrumented actors reach the recorder
+through ``self.obs`` (the network's attached recorder) and guard the
+hot paths with ``if self.obs.enabled`` so the default
+:class:`NullRecorder` costs one attribute read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+# -- span kinds (the seven lifecycle stations) ---------------------------
+EDGE_SUBMIT = "edge.submit"
+SYMBOLIC_COMMIT = "edge.symbolic_commit"
+GROUP_ORDER = "group.order"
+DC_COMMIT = "dc.commit"
+REPLICATION = "repl"
+K_STABLE = "dc.k_stable"
+VISIBLE = "edge.visible"
+
+SPAN_KINDS: Tuple[str, ...] = (EDGE_SUBMIT, SYMBOLIC_COMMIT, GROUP_ORDER,
+                               DC_COMMIT, REPLICATION, K_STABLE, VISIBLE)
+
+
+class Span:
+    """One lifecycle point event: (kind, dot, node, sim-time, attrs)."""
+
+    __slots__ = ("kind", "dot", "node", "t", "attrs")
+
+    def __init__(self, kind: str, dot: Any, node: str, t: float,
+                 attrs: Optional[Dict[str, Any]] = None):
+        self.kind = kind
+        self.dot = dot
+        self.node = node
+        self.t = t
+        self.attrs = attrs or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "kind": self.kind, "dot": str(self.dot),
+            "node": self.node, "t": self.t}
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.kind}, {self.dot}, {self.node},"
+                f" t={self.t:.3f}, {self.attrs})")
+
+
+class NullRecorder:
+    """Default no-op recorder: tracing disabled, zero overhead."""
+
+    __slots__ = ()
+    enabled = False
+
+    def record(self, kind: str, dot: Any, node: str, t: float,
+               **attrs: Any) -> None:
+        """Discard the span (tracing is off)."""
+
+
+#: Shared default; stateless, so one instance serves every simulation.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Collects lifecycle spans; attach via ``sim.network.obs = ...``."""
+
+    __slots__ = ("spans",)
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def record(self, kind: str, dot: Any, node: str, t: float,
+               **attrs: Any) -> None:
+        self.spans.append(Span(kind, dot, node, t, attrs))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def kinds(self) -> Set[str]:
+        """Distinct span kinds observed (CI asserts all seven)."""
+        return {span.kind for span in self.spans}
+
+    def by_dot(self) -> "Dict[Any, List[Span]]":
+        """Spans grouped per transaction, each group in record order.
+
+        Record order is causal per station and deterministic, so no
+        re-sort is needed (simultaneous spans keep their emit order).
+        """
+        grouped: Dict[Any, List[Span]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.dot, []).append(span)
+        return grouped
+
+    def first(self, dot: Any, kind: str,
+              node: Optional[str] = None) -> Optional[Span]:
+        """Earliest span of ``kind`` for ``dot`` (optionally per node)."""
+        best: Optional[Span] = None
+        for span in self.spans:
+            if span.dot != dot or span.kind != kind:
+                continue
+            if node is not None and span.node != node:
+                continue
+            if best is None or span.t < best.t:
+                best = span
+        return best
+
+    def of_kind(self, kind: str) -> Iterable[Span]:
+        return (span for span in self.spans if span.kind == kind)

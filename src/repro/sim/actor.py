@@ -72,6 +72,16 @@ class Actor:
     def now(self) -> float:
         return self.loop.now
 
+    @property
+    def obs(self) -> Any:
+        """The world's lifecycle trace recorder (a no-op by default).
+
+        Hot paths guard span emission with ``if self.obs.enabled``;
+        the recorder itself is passive, so tracing never perturbs
+        protocol behaviour.
+        """
+        return self.network.obs
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "crashed" if self.crashed else "up"
         return f"{type(self).__name__}({self.node_id}, {state})"

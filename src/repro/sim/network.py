@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
+from ..obs.trace import NULL_RECORDER
 from .events import EventLoop
 
 # Paper latency presets, milliseconds.
@@ -60,6 +61,11 @@ class NetworkStats:
     ``bytes_sent`` is a real wire-cost metric: every message carries an
     honest ``wire_size()`` that the network falls back to when a call
     site does not pass an explicit size.
+
+    The counters are cumulative for the simulation's lifetime; a
+    benchmark that measures one phase takes a :meth:`snapshot` at the
+    phase boundary and reads :meth:`since` afterwards, so warm-up
+    traffic is never attributed to the measured phase.
     """
 
     def __init__(self) -> None:
@@ -70,6 +76,70 @@ class NetworkStats:
         self.drops_by_link: Dict[Tuple[str, str], int] = {}
         self.bytes_by_link: Dict[Tuple[str, str], int] = {}
         self.messages_by_link: Dict[Tuple[str, str], int] = {}
+
+    def snapshot(self) -> "NetworkStats":
+        """Frozen copy of every counter, for phase accounting."""
+        copy = NetworkStats()
+        copy.messages_sent = self.messages_sent
+        copy.messages_delivered = self.messages_delivered
+        copy.messages_dropped = self.messages_dropped
+        copy.bytes_sent = self.bytes_sent
+        copy.drops_by_link = dict(self.drops_by_link)
+        copy.bytes_by_link = dict(self.bytes_by_link)
+        copy.messages_by_link = dict(self.messages_by_link)
+        return copy
+
+    def since(self, baseline: "NetworkStats") -> "NetworkStats":
+        """Counters accumulated after ``baseline`` was snapshotted.
+
+        The returned object supports the same per-link accessors
+        (``bytes_on`` etc.), so phase measurements read identically to
+        lifetime ones.  ``baseline`` must be an earlier snapshot of the
+        *same* stats stream — a later one raises rather than returning
+        negative traffic.
+        """
+        delta = NetworkStats()
+        delta.messages_sent = self.messages_sent - baseline.messages_sent
+        delta.messages_delivered = \
+            self.messages_delivered - baseline.messages_delivered
+        delta.messages_dropped = \
+            self.messages_dropped - baseline.messages_dropped
+        delta.bytes_sent = self.bytes_sent - baseline.bytes_sent
+        if delta.messages_sent < 0 or delta.bytes_sent < 0:
+            raise ValueError("baseline is newer than these stats")
+        for mine, theirs, out in (
+                (self.drops_by_link, baseline.drops_by_link,
+                 delta.drops_by_link),
+                (self.bytes_by_link, baseline.bytes_by_link,
+                 delta.bytes_by_link),
+                (self.messages_by_link, baseline.messages_by_link,
+                 delta.messages_by_link)):
+            for link, value in mine.items():
+                diff = value - theirs.get(link, 0)
+                if diff:
+                    out[link] = diff
+        return delta
+
+    def publish(self, registry: Any, prefix: str = "net") -> None:
+        """Export the current totals into a MetricsRegistry as gauges.
+
+        Gauges (not counters) because these are point-in-time captures
+        of cumulative totals: re-publishing must overwrite, and merging
+        registries from the same stream must not double-count.
+        """
+        registry.gauge(f"{prefix}.messages_sent").set(self.messages_sent)
+        registry.gauge(f"{prefix}.messages_delivered").set(
+            self.messages_delivered)
+        registry.gauge(f"{prefix}.messages_dropped").set(
+            self.messages_dropped)
+        registry.gauge(f"{prefix}.bytes_sent").set(self.bytes_sent)
+        for (src, dst), value in sorted(self.bytes_by_link.items()):
+            registry.gauge(f"{prefix}.link.{src}->{dst}.bytes").set(value)
+        for (src, dst), value in sorted(self.messages_by_link.items()):
+            registry.gauge(
+                f"{prefix}.link.{src}->{dst}.messages").set(value)
+        for (src, dst), value in sorted(self.drops_by_link.items()):
+            registry.gauge(f"{prefix}.link.{src}->{dst}.drops").set(value)
 
     def record_send(self, src: str, dst: str, size_bytes: int) -> None:
         self.messages_sent += 1
@@ -119,6 +189,10 @@ class Network:
         self._down: Set[str] = set()
         self._loss_rate: Dict[Tuple[str, str], float] = {}
         self.stats = NetworkStats()
+        # Lifecycle trace recorder; actors reach it via ``Actor.obs``.
+        # The null default keeps tracing a pure observer: assigning a
+        # repro.obs.TraceRecorder here must not change behaviour.
+        self.obs = NULL_RECORDER
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, node_id: str,

@@ -50,6 +50,22 @@ class CacheStats:
         return (self.mat_hits + self.mat_incremental) / total \
             if total else 0.0
 
+    def publish(self, registry, prefix: str = "cache") -> None:
+        """Export the current totals into a MetricsRegistry.
+
+        Gauges, because these are point-in-time captures of cumulative
+        totals (see ``NetworkStats.publish`` for the rationale).
+        """
+        registry.gauge(f"{prefix}.hits").set(self.hits)
+        registry.gauge(f"{prefix}.misses").set(self.misses)
+        registry.gauge(f"{prefix}.evictions").set(self.evictions)
+        registry.gauge(f"{prefix}.mat_hits").set(self.mat_hits)
+        registry.gauge(f"{prefix}.mat_incremental").set(
+            self.mat_incremental)
+        registry.gauge(f"{prefix}.mat_misses").set(self.mat_misses)
+        registry.gauge(f"{prefix}.hit_ratio").set(self.hit_ratio)
+        registry.gauge(f"{prefix}.mat_hit_ratio").set(self.mat_hit_ratio)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"CacheStats(hits={self.hits}, misses={self.misses},"
                 f" evictions={self.evictions}, mat_hits={self.mat_hits},"

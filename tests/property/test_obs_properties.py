@@ -1,0 +1,93 @@
+"""Property tests for obs: digest neutrality and exact histogram merge.
+
+The tracing contract is that a :class:`TraceRecorder` is a pure
+observer — attaching one must not change a single protocol decision.
+These tests drive identical seeded runs with tracing on and off and
+require bit-identical outcomes: state digests, state vectors, network
+totals and the full chaos scenario report.
+"""
+
+import json
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.chaos.runner import ScenarioConfig, build_world, run_scenario
+from repro.obs import Histogram, MetricsRegistry, TraceRecorder
+
+
+def _drive_workload(topology, seed, recorder):
+    """A fixed fault-free workload over a chaos topology."""
+    world = build_world(topology, seed)
+    sim = world.sim
+    if recorder is not None:
+        sim.network.obs = recorder
+    key, type_name = world.keys[0]
+    for i in range(10):
+        at = sim.now + 100.0 + i * 150.0
+
+        def fire(client=world.clients[i % len(world.clients)]) -> None:
+            def body(tx):
+                yield tx.update(key, type_name, "increment", 1)
+            client.run_transaction(body)
+
+        sim.loop.schedule_at(at, fire)
+    sim.run_for(5000.0)
+    stats = sim.network.stats
+    return {
+        "digests": [sorted((repr(k), v)
+                           for k, v in dc.state_digest().items())
+                    for dc in world.dcs],
+        "vectors": [dc.state_vector.to_dict() for dc in world.dcs],
+        "now": sim.now,
+        "bytes": stats.bytes_sent,
+        "messages": stats.messages_sent,
+    }
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 50),
+       topology=st.sampled_from(("group", "pop", "tree")))
+def test_tracing_is_digest_neutral(seed, topology):
+    recorder = TraceRecorder()
+    traced = _drive_workload(topology, seed, recorder)
+    untraced = _drive_workload(topology, seed, None)
+    assert traced == untraced
+    assert recorder.spans, "traced run recorded nothing"
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 20))
+def test_chaos_report_bytes_identical_with_tracing(seed):
+    config = ScenarioConfig(topology="group", seed=seed, n_txns=8,
+                            window_ms=2000.0, max_faults=3)
+    plain = json.dumps(run_scenario(config).to_dict(), sort_keys=True)
+    traced = json.dumps(
+        run_scenario(config, recorder=TraceRecorder()).to_dict(),
+        sort_keys=True)
+    assert plain == traced
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.floats(0.0, 10000.0), max_size=60),
+       split=st.integers(0, 60))
+def test_histogram_merge_equals_single_pass(values, split):
+    """Merging partitioned observations is exact, not approximate."""
+    whole = Histogram("h")
+    for value in values:
+        whole.observe(value)
+
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    for value in values[:split]:
+        left.observe("h", value)
+    for value in values[split:]:
+        right.observe("h", value)
+    merged = left.merge(right).histogram("h")
+
+    assert merged.counts == whole.counts
+    assert merged.total == whole.total
+    assert math.isclose(merged.sum, whole.sum, abs_tol=1e-9)
+    assert merged.min == whole.min
+    assert merged.max == whole.max
+    assert merged.quantile(0.95) == whole.quantile(0.95)

@@ -1,0 +1,234 @@
+"""Unit tests for the obs subsystem: registry, tracing, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (DC_COMMIT, EDGE_SUBMIT, K_STABLE, REPLICATION,
+                       SPAN_KINDS, SYMBOLIC_COMMIT, VISIBLE, Counter,
+                       Histogram, MetricsRegistry, NullRecorder,
+                       TraceRecorder, format_breakdown,
+                       latency_breakdown, to_chrome_trace, to_jsonl)
+
+# ----------------------------------------------------------------------
+# histogram bucketing
+# ----------------------------------------------------------------------
+
+
+def test_histogram_edges_are_inclusive_upper_bounds():
+    h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    for value in (0.0, 1.0):          # first bucket: v <= 1.0
+        h.observe(value)
+    h.observe(1.0001)                 # second bucket
+    h.observe(10.0)                   # still second (inclusive edge)
+    h.observe(100.0)                  # third
+    h.observe(100.0001)               # overflow
+    assert h.counts == [2, 2, 1, 1]
+    assert h.total == 6
+    assert h.min == 0.0
+    assert h.max == 100.0001
+
+
+def test_histogram_quantile_is_bucket_resolution():
+    h = Histogram("h", bounds=(1.0, 10.0, 100.0))
+    for _ in range(9):
+        h.observe(0.5)                # nine in the first bucket
+    h.observe(50.0)                   # one in the third
+    assert h.quantile(0.5) == 1.0     # upper edge of its bucket
+    assert h.quantile(0.9) == 1.0
+    assert h.quantile(1.0) == 100.0
+
+
+def test_histogram_overflow_quantile_reports_observed_max():
+    h = Histogram("h", bounds=(1.0,))
+    h.observe(42.0)
+    h.observe(7.0)
+    assert h.quantile(0.99) == 42.0   # overflow bucket -> real max
+
+
+def test_histogram_empty_and_invalid_quantile():
+    h = Histogram("h", bounds=(1.0,))
+    assert h.quantile(0.5) is None
+    assert h.mean == 0.0
+    h.observe(1.0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=())
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", bounds=(2.0, 1.0))
+
+
+def test_counter_is_monotonic():
+    c = Counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+# ----------------------------------------------------------------------
+# registry + merge
+# ----------------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("g") is reg.gauge("g")
+    assert reg.histogram("h") is reg.histogram("h")
+    reg.inc("a", 2)
+    reg.observe("h", 3.0)
+    assert reg.counter("a").value == 2
+    assert reg.histogram("h").total == 1
+    assert reg.names() == ["a", "g", "h"]
+
+
+def test_registry_merge_semantics():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.inc("txns", 3)
+    right.inc("txns", 4)
+    right.inc("only-right", 1)
+    left.gauge("peak").set(10.0)
+    right.gauge("peak").set(7.0)
+    left.observe("lat", 0.4, bounds=(1.0, 10.0))
+    right.observe("lat", 5.0, bounds=(1.0, 10.0))
+    right.observe("lat", 99.0, bounds=(1.0, 10.0))
+
+    merged = left.merge(right)
+    assert merged is left
+    assert left.counter("txns").value == 7
+    assert left.counter("only-right").value == 1
+    assert left.gauge("peak").value == 10.0   # max, not last-write
+    h = left.histogram("lat", bounds=(1.0, 10.0))
+    assert h.counts == [1, 1, 1]
+    assert h.total == 3
+    assert h.min == 0.4
+    assert h.max == 99.0
+
+
+def test_registry_merge_rejects_mismatched_buckets():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.observe("lat", 1.0, bounds=(1.0, 2.0))
+    right.observe("lat", 1.0, bounds=(1.0, 3.0))
+    with pytest.raises(ValueError, match="bucket boundaries differ"):
+        left.merge(right)
+
+
+def test_registry_to_dict_is_sorted_and_json_safe():
+    reg = MetricsRegistry()
+    reg.inc("b")
+    reg.inc("a")
+    reg.observe("lat", 2.0)
+    dumped = json.dumps(reg.to_dict())
+    assert list(reg.to_dict()["counters"]) == ["a", "b"]
+    assert "lat" in json.loads(dumped)["histograms"]
+
+
+# ----------------------------------------------------------------------
+# trace recorder + exporters
+# ----------------------------------------------------------------------
+
+
+def _sample_recorder():
+    rec = TraceRecorder()
+    rec.record(EDGE_SUBMIT, "d1", "e0", 0.0)
+    rec.record(SYMBOLIC_COMMIT, "d1", "e0", 2.0)
+    rec.record(DC_COMMIT, "d1", "dc0", 10.0)
+    rec.record(REPLICATION, "d1", "dc0", 10.0, phase="ship", peer="dc1")
+    rec.record(REPLICATION, "d1", "dc1", 30.0, phase="apply",
+               origin="dc0")
+    rec.record(K_STABLE, "d1", "dc1", 35.0)
+    rec.record(K_STABLE, "d1", "dc0", 40.0)
+    rec.record(VISIBLE, "d1", "e1", 50.0)
+    # A DC-native transaction (no edge-side spans, never visible).
+    rec.record(DC_COMMIT, "d2", "dc0", 5.0)
+    rec.record(REPLICATION, "d2", "dc1", 20.0, phase="apply",
+               origin="dc0")
+    return rec
+
+
+def test_recorder_accessors():
+    rec = _sample_recorder()
+    assert len(rec) == 10
+    assert rec.kinds() == set(SPAN_KINDS) - {"group.order"}
+    assert set(rec.by_dot()) == {"d1", "d2"}
+    assert rec.first("d1", K_STABLE).t == 35.0
+    assert rec.first("d1", K_STABLE, node="dc0").t == 40.0
+    assert rec.first("d1", "no-such-kind") is None
+    assert sum(1 for _ in rec.of_kind(REPLICATION)) == 3
+
+
+def test_null_recorder_is_disabled_and_inert():
+    null = NullRecorder()
+    assert not null.enabled
+    null.record(EDGE_SUBMIT, "d", "n", 0.0, extra=1)  # no-op, no error
+
+
+def test_to_jsonl_round_trips():
+    rec = _sample_recorder()
+    lines = to_jsonl(rec).splitlines()
+    assert len(lines) == len(rec.spans)
+    first = json.loads(lines[0])
+    assert first == {"kind": EDGE_SUBMIT, "dot": "d1", "node": "e0",
+                     "t": 0.0}
+    shipped = json.loads(lines[3])
+    assert shipped["attrs"] == {"phase": "ship", "peer": "dc1"}
+
+
+def test_chrome_trace_structure():
+    rec = _sample_recorder()
+    trace = to_chrome_trace(rec)
+    events = trace["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    instants = [e for e in events if e["ph"] == "i"]
+    asyncs = [e for e in events if e["ph"] in ("b", "e")]
+    assert {m["args"]["name"] for m in metadata} == \
+        {"e0", "e1", "dc0", "dc1"}
+    assert len(instants) == len(rec.spans)
+    # One async slice per multi-span transaction, over sim microseconds.
+    assert len(asyncs) == 4
+    begin = next(e for e in asyncs if e["ph"] == "b" and e["id"] == "d1")
+    assert begin["ts"] == 0.0
+    end = next(e for e in asyncs if e["ph"] == "e" and e["id"] == "d1")
+    assert end["ts"] == 50.0 * 1000.0
+
+
+def test_latency_breakdown_hop_semantics():
+    rec = _sample_recorder()
+    registry = MetricsRegistry()
+    breakdown = latency_breakdown(rec, registry)
+    hops = breakdown["hops"]
+    assert breakdown["transactions"] == 2
+    assert hops["submit->symbolic"]["count"] == 1
+    assert hops["submit->symbolic"]["max_ms"] == 2.0
+    assert hops["submit->dc-commit"]["max_ms"] == 10.0
+    # "replicated" means the first *apply*, not the ship.
+    assert hops["dc-commit->replicated"]["count"] == 2
+    assert sorted([hops["dc-commit->replicated"]["min_ms"],
+                   hops["dc-commit->replicated"]["max_ms"]]) == \
+        [15.0, 20.0]
+    # K-stability is the earliest stable cut at any DC (dc1, t=35);
+    # remote pushes release at or after it, so the hop stays >= 0.
+    assert hops["replicated->k-stable"]["max_ms"] == 5.0
+    assert hops["k-stable->visible"]["max_ms"] == 15.0
+    assert hops["end-to-end"]["max_ms"] == 50.0
+    # The registry picked up the same samples as fixed-bucket histograms.
+    assert registry.histogram("obs.hop.end-to-end").total == 1
+    table = format_breakdown(breakdown)
+    assert "end-to-end" in table
+    assert "2 transactions" in table
+
+
+def test_format_breakdown_renders_empty_hops():
+    table = format_breakdown(latency_breakdown(TraceRecorder()))
+    assert "symbolic->group-order" in table
+    assert "0 transactions" in table

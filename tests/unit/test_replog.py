@@ -246,4 +246,5 @@ class TestReplLink:
         link.bytes_sent += 512
         link.acks_in += 2
         assert link.counters() == {"batches_sent": 2, "txns_sent": 9,
-                                   "bytes_sent": 512, "acks_in": 2}
+                                   "bytes_sent": 512, "acks_in": 2,
+                                   "rewinds": 0}
