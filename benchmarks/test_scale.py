@@ -1,0 +1,102 @@
+"""Sim-core scale benchmark: the BENCH_scale sweep and its CI gate.
+
+Sweeps the seeded scale scenario across three decades of node count
+(10^3 and 10^4 by default; 10^5 with ``--paper-scale``) and writes
+``BENCH_scale.json`` at the repo root.  The 10^4 point is the gated
+one: its events/s is compared against the committed pre-rewrite
+baseline in ``benchmarks/baselines/scale_10k_pre.json``, which was
+measured on the same scenario code immediately before the sim-core
+rewrite landed.
+
+Events are *logical* events — what a one-event-per-message loop (the
+pre-rewrite implementation, hence the baseline's counter) would have
+processed — so the rate is comparable across the rewrite even though
+same-tick batch delivery retires several messages per loop event.
+With ``PYTHONHASHSEED=0`` (the chaos CLI's canonical mode, exported by
+the CI job) the logical event count must match the baseline's count
+*exactly*: the workload is deterministic, the rewrite only reorders
+Python work, and any drift means behaviour changed.
+
+The wall-clock gate is deliberately conservative: the committed
+``BENCH_scale.json`` records the full measured speedup (>= 5x on the
+reference machine), while the in-test assertion only requires
+``GATE_MIN_SPEEDUP`` so slower CI runners do not flap the build.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.scale import SWEEP, ScaleConfig, run_scale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT_PATH = REPO_ROOT / "BENCH_scale.json"
+BASELINE_PATH = Path(__file__).parent / "baselines" / "scale_10k_pre.json"
+
+#: Regression floor for CI: the reference machine records >= 5x in the
+#: committed report; anything below this on any hardware is a real
+#: regression, not runner noise.
+GATE_MIN_SPEEDUP = 2.0
+
+#: The gated point: 10^4 nodes, the paper-scale "city" population.
+GATED_NODES = 10_000
+
+
+def _hash_seed_pinned() -> bool:
+    return os.environ.get("PYTHONHASHSEED") == "0"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def test_scale_sweep_and_gate(paper_scale, baseline):
+    configs = [c for c in SWEEP
+               if paper_scale or c.n_nodes <= GATED_NODES]
+    rows = [run_scale(config) for config in configs]
+
+    gated = next(r for r in rows if r["n_nodes"] == GATED_NODES)
+    speedup = gated["events_per_sec"] / baseline["events_per_sec"]
+
+    report = {
+        "benchmark": "sim_core_scale",
+        "sweep": rows,
+        "baseline_10k": baseline,
+        "speedup_10k": round(speedup, 2),
+        "gate_min_speedup": GATE_MIN_SPEEDUP,
+        "hash_seed_pinned": _hash_seed_pinned(),
+    }
+    REPORT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for row in rows:
+        # The seeded workload must complete: every writer's transactions
+        # commit (the scenario has no conflicts and heals nothing).
+        assert row["txns_submitted"] > 0
+        assert row["txns_committed"] == row["txns_submitted"]
+        assert row["txns_aborted"] == 0
+        assert row["events"] > 0
+
+    if _hash_seed_pinned():
+        # Logical-event parity with the pre-rewrite loop: behaviour is
+        # a pure function of the seed, so the count must be exact.
+        assert gated["events"] == baseline["events"], (
+            "logical event count diverged from the pre-rewrite baseline:"
+            f" {gated['events']} != {baseline['events']}")
+
+    assert speedup >= GATE_MIN_SPEEDUP, (
+        f"scale throughput regressed: {gated['events_per_sec']:.0f} ev/s"
+        f" is only {speedup:.2f}x the committed baseline"
+        f" {baseline['events_per_sec']:.0f} ev/s"
+        f" (floor {GATE_MIN_SPEEDUP}x)")
+
+
+def test_sweep_covers_three_decades():
+    """The default sweep definition spans 10^3..10^5 nodes."""
+    nodes = sorted(c.n_nodes for c in SWEEP)
+    assert nodes == [1_000, 10_000, 100_000]
+    assert all(isinstance(c, ScaleConfig) for c in SWEEP)

@@ -1,0 +1,103 @@
+"""CLI for the scale benchmark: ``python -m repro.bench``.
+
+Examples::
+
+    python -m repro.bench                        # one 10^4-node point
+    python -m repro.bench --nodes 1000           # pick the population
+    python -m repro.bench --sweep                # the BENCH_scale sweep
+    python -m repro.bench --profile              # cProfile the hot path
+    python -m repro.bench --profile --top 40     # deeper profile listing
+
+``--profile`` wraps the measured run in :mod:`cProfile` and prints the
+top-N functions by cumulative time after the result row — the intended
+workflow for sim-core optimisation work: profile, flatten the hottest
+frame, re-run, compare ``events_per_sec``.  Profiling inflates the
+wall-clock numbers (a row produced under ``--profile`` is not
+comparable to an unprofiled one), so the row is marked ``"profiled":
+true``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import os
+import pstats
+import sys
+from typing import List
+
+from .scale import SWEEP, ScaleConfig, run_scale, run_sweep
+
+
+def _parse_args(argv: List[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Sim-core scale benchmark (events/s at N nodes)")
+    parser.add_argument("--nodes", type=int, default=10_000,
+                        help="edge population (default 10000)")
+    parser.add_argument("--duration", type=float, default=400.0,
+                        help="measured sim window in ms (default 400)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (default 0)")
+    parser.add_argument("--sweep", action="store_true",
+                        help="run the full BENCH_scale sweep instead "
+                             "of one point")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top-N "
+                             "functions by cumulative time")
+    parser.add_argument("--top", type=int, default=25,
+                        help="functions to list with --profile "
+                             "(default 25)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the result JSON here")
+    return parser.parse_args(argv)
+
+
+def main(argv: List[str] = None) -> int:
+    # Same canonicalisation as the chaos CLI: behaviour (and therefore
+    # the logical event count) is a function of the hash seed, so pin
+    # it for run-to-run comparable rows.
+    if argv is None and os.environ.get("PYTHONHASHSEED") is None:
+        os.environ["PYTHONHASHSEED"] = "0"
+        os.execv(sys.executable,
+                 [sys.executable, "-m", "repro.bench"] + sys.argv[1:])
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+
+    if args.sweep:
+        configs = SWEEP
+        runner = lambda: run_sweep(configs)          # noqa: E731
+    else:
+        config = ScaleConfig(n_nodes=args.nodes, seed=args.seed,
+                             duration_ms=args.duration)
+        runner = lambda: run_scale(config)           # noqa: E731
+
+    if args.profile:
+        profiler = cProfile.Profile()
+        result = profiler.runcall(runner)
+        if isinstance(result, dict):
+            result["profiled"] = True
+        else:
+            for row in result:
+                row["profiled"] = True
+    else:
+        result = runner()
+
+    print(json.dumps(result, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(json.dumps(result, indent=2, sort_keys=True)
+                         + "\n")
+        print(f"bench: result written to {args.out}", file=sys.stderr)
+
+    if args.profile:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"\nbench: top {args.top} functions by cumulative time",
+              file=sys.stderr)
+        stats.print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,8 @@ class ScenarioConfig:
                  n_txns: int = 24, window_ms: float = 6000.0,
                  max_faults: int = 8, checkpoint_ms: float = 250.0,
                  settle_step_ms: float = 500.0,
-                 settle_max_ms: float = 40000.0):
+                 settle_max_ms: float = 40000.0,
+                 fifo_mode: str = "seq"):
         if topology not in TOPOLOGIES:
             raise ValueError(f"unknown topology {topology!r}")
         self.topology = topology
@@ -56,6 +57,10 @@ class ScenarioConfig:
         self.checkpoint_ms = checkpoint_ms
         self.settle_step_ms = settle_step_ms
         self.settle_max_ms = settle_max_ms
+        # Network ordering implementation ("seq" or "bump"); both give
+        # per-link FIFO, and the parity property tests run scenarios
+        # under each to prove the reports are byte-identical.
+        self.fifo_mode = fifo_mode
 
 
 class World:
@@ -114,13 +119,15 @@ def _declare(node: EdgeNode,
 
 
 def build_world(topology: str, seed: int,
-                edge_cls: type = EdgeNode) -> World:
+                edge_cls: type = EdgeNode,
+                fifo_mode: str = "seq") -> World:
     """Build one of the standard topologies, warmed up and converged.
 
     ``edge_cls`` swaps the implementation of the solo far edge — the
     hook the self-check uses to plant a buggy test double.
     """
-    sim = Simulation(seed=seed, default_latency=CELLULAR)
+    sim = Simulation(seed=seed, default_latency=CELLULAR,
+                     fifo_mode=fifo_mode)
     dcs = _build_dcs(sim, n_dcs=2, k_target=2)
     k_target = 2
     far = sim.spawn(edge_cls, "far", dc_id="dc1")
@@ -393,7 +400,8 @@ def run_scenario(config: ScenarioConfig,
     result (and every digest derived from it) is byte-identical with
     tracing on or off; the trace itself is a separate artifact.
     """
-    world = build_world(config.topology, config.seed, edge_cls=edge_cls)
+    world = build_world(config.topology, config.seed, edge_cls=edge_cls,
+                        fifo_mode=config.fifo_mode)
     sim = world.sim
     if recorder is not None:
         sim.network.obs = recorder

@@ -225,6 +225,11 @@ class DataCenter(Actor):
 
         # -- sessions / pending work -----------------------------------------------
         self.sessions: Dict[str, _EdgeSession] = {}
+        # Inverted interest index: key -> edge ids whose session declared
+        # it.  Lets the stability push fan-out find the audience of a
+        # transaction in O(keys) instead of scanning every session's
+        # interest set per push.
+        self._sessions_by_key: Dict[ObjectKey, Set[str]] = {}
         self._next_request = 0
         self._read_gathers: Dict[int, Tuple[Set[int], Dict[int, dict],
                                             Callable[[List[dict]], None],
@@ -323,7 +328,12 @@ class DataCenter(Actor):
         session = _EdgeSession(msg.edge_id)
         for key_dict, type_name in msg.interest:
             session.interest[ObjectKey.from_dict(key_dict)] = type_name
+        previous = self.sessions.get(msg.edge_id)
+        if previous is not None:
+            self._unindex_interest(previous)
         self.sessions[msg.edge_id] = session
+        for key in session.interest:
+            self._sessions_by_key.setdefault(key, set()).add(msg.edge_id)
 
         # Seed no older than what the edge already observed: after a
         # migration the edge may be ahead of our *stable* vector (though
@@ -342,17 +352,34 @@ class DataCenter(Actor):
         self._gather_reads(keys, seed_vector, msg.local_deps, done)
 
     def close_session(self, edge_id: str) -> None:
-        self.sessions.pop(edge_id, None)
+        session = self.sessions.pop(edge_id, None)
+        if session is not None:
+            self._unindex_interest(session)
+
+    def _unindex_interest(self, session: _EdgeSession) -> None:
+        for key in session.interest:
+            ids = self._sessions_by_key.get(key)
+            if ids is not None:
+                ids.discard(session.edge_id)
+                if not ids:
+                    del self._sessions_by_key[key]
 
     def _on_interest_change(self, msg: InterestChange, sender: str) -> None:
         session = self.sessions.get(msg.edge_id)
         if session is None:
             return
         for key_dict in msg.remove:
-            session.interest.pop(ObjectKey.from_dict(key_dict), None)
+            key = ObjectKey.from_dict(key_dict)
+            if session.interest.pop(key, None) is not None:
+                ids = self._sessions_by_key.get(key)
+                if ids is not None:
+                    ids.discard(msg.edge_id)
+                    if not ids:
+                        del self._sessions_by_key[key]
         added = [(ObjectKey.from_dict(k), t) for k, t in msg.add]
         for key, type_name in added:
             session.interest[key] = type_name
+            self._sessions_by_key.setdefault(key, set()).add(msg.edge_id)
         if added:
             seed_vector = self.stable_vector.merge(
                 VectorClock(msg.state_vector))
@@ -1127,14 +1154,37 @@ class DataCenter(Actor):
         # Serialise each txn once and share the dicts across sessions:
         # receivers rebuild Transaction objects and never mutate these.
         shared = [(t.to_dict(), t.keys, t.byte_size()) for t in unique]
+        # Route each txn to its audience through the inverted interest
+        # index; sessions outside every audience share one empty push
+        # (receivers never mutate pushes — same contract as keepalives).
+        audiences: Dict[str, List[Tuple[dict, int]]] = {}
+        by_key = self._sessions_by_key
+        for payload, keys, size in shared:
+            targets: Set[str] = set()
+            for key in keys:
+                ids = by_key.get(key)
+                if ids:
+                    targets.update(ids)
+            for edge_id in targets:
+                audiences.setdefault(edge_id, []).append((payload, size))
+        empty_push = UpdatePush((), stable, prev)
+        if self.crashed:
+            return
+        # Bypass Actor.send: the crash flag cannot flip mid-loop in a
+        # single-threaded simulation, and this fan-out runs once per
+        # session per stability round — the hottest send site at scale.
+        network_send = self.network.send
+        me = self.node_id
+        get_audience = audiences.get
         for session in self.sessions.values():
-            relevant = tuple(
-                (payload, size) for payload, keys, size in shared
-                if any(k in session.interest for k in keys))
-            push = UpdatePush(tuple(p for p, _ in relevant), stable, prev)
-            size = (sum(s for _, s in relevant) + 16 + 8 * len(stable)
-                    if relevant else 16)
-            self.send(session.edge_id, push, size_bytes=size)
+            relevant = get_audience(session.edge_id)
+            if relevant:
+                push = UpdatePush(tuple(p for p, _ in relevant),
+                                  stable, prev)
+                size = sum(s for _, s in relevant) + 16 + 8 * len(stable)
+                network_send(me, session.edge_id, push, size)
+            else:
+                network_send(me, session.edge_id, empty_push, 16)
 
     def _keepalive(self) -> None:
         """Empty push so edges can detect missed deltas after a heal."""
@@ -1143,8 +1193,9 @@ class DataCenter(Actor):
         prev = self._pushed_stable.to_dict()
         stable = self.stable_vector.to_dict()
         push = UpdatePush((), stable, prev)
+        size = push.wire_size()
         for session in self.sessions.values():
-            self.send(session.edge_id, push)
+            self.send(session.edge_id, push, size_bytes=size)
 
     # ------------------------------------------------------------------
     # introspection for tests and benchmarks

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Set,
+                    Tuple)
 
 from ..core.clock import LamportClock, VectorClock
 from ..core.dot import Dot, DotTracker
@@ -265,19 +266,41 @@ class EdgeNode(Actor):
     # ------------------------------------------------------------------
     # message handling
     # ------------------------------------------------------------------
+    #: Message type -> handler method name; resolved per class (so
+    #: subclass overrides win) into ``_msg_dispatch`` below.
+    _DISPATCH_NAMES = {
+        "SessionAck": "_on_session_ack",
+        "UpdatePush": "_on_update_push",
+        "CommitAck": "_on_commit_ack",
+        # CommitReject is a deliberate no-op: the transaction stays in
+        # ``unacked`` and the retry timer resends it.
+        "CommitReject": "_ignore_message",
+        "ObjectResponse": "_on_object_response",
+        "RemoteTxnReply": "_on_remote_reply",
+    }
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._build_dispatch()
+
+    @classmethod
+    def _build_dispatch(cls) -> None:
+        table = {}
+        for type_name, method_name in cls._DISPATCH_NAMES.items():
+            table[_MESSAGE_TYPES[type_name]] = getattr(cls, method_name)
+        cls._msg_dispatch = table
+
+    def _ignore_message(self, message: Any, sender: str) -> None:
+        pass
+
     def on_message(self, message: Any, sender: str) -> None:
-        if isinstance(message, SessionAck):
-            self._on_session_ack(message, sender)
-        elif isinstance(message, UpdatePush):
-            self._on_update_push(message, sender)
-        elif isinstance(message, CommitAck):
-            self._on_commit_ack(message, sender)
-        elif isinstance(message, CommitReject):
-            pass  # kept in self.unacked; the retry timer resends
-        elif isinstance(message, ObjectResponse):
-            self._on_object_response(message, sender)
-        elif isinstance(message, RemoteTxnReply):
-            self._on_remote_reply(message, sender)
+        # Type-keyed dispatch: pushes arrive once per stability round
+        # per edge, so at scale this lookup runs millions of times.
+        # ``_msg_dispatch`` is built per class, so overrides resolve
+        # exactly as the isinstance chain it replaces did.
+        handler = self._msg_dispatch.get(type(message))
+        if handler is not None:
+            handler(self, message, sender)
         else:
             self.on_extra_message(message, sender)
 
@@ -297,7 +320,7 @@ class EdgeNode(Actor):
         for state in msg.objects:
             self._install_seed(state, seed_vector)
             seeded.append(ObjectKey.from_dict(state["key"]))
-        self._advance_vector(VectorClock(msg.stable_vector))
+        self._advance_vector(msg.stable_vector)
         if not self.session_open:
             self.session_open = True
             self._resend_pending(sender)
@@ -359,8 +382,42 @@ class EdgeNode(Actor):
                 journal.append(txn)
         self._notify_subscribers([key])
 
+    #: ``id(msg) -> (msg, old_vector, new_vector)`` — one stability push
+    #: fans out to every session of its DC, and the receiving edges'
+    #: vectors converge onto shared clock instances, so after the first
+    #: edge processes a push the rest reuse its result with two identity
+    #: checks (same message, same starting vector) instead of re-running
+    #: the dominance check and merge.  Entries are only stored after the
+    #: dominance check passed, so a hit implies the check would pass
+    #: again.  Keyed by id because several DCs' rounds are in flight at
+    #: once; the stored message reference keeps the id stable.
+    _push_memo: Dict[int, tuple] = {}
+    #: Must exceed the number of pushes in flight across all DCs (link
+    #: jitter keeps tens of rounds live at once); see the clock memos.
+    _PUSH_MEMO_CAP = 512
+
     def _on_update_push(self, msg: UpdatePush, sender: str) -> None:
-        if not VectorClock(msg.prev_vector).leq(self.vector):
+        if not msg.txns:
+            # Keepalive / no-audience push: nothing to apply, nothing
+            # to notify — the stable vector still advances.  This is
+            # the overwhelmingly common case at scale.
+            memo = EdgeNode._push_memo
+            entry = memo.get(id(msg))
+            if entry is not None and entry[0] is msg \
+                    and entry[1] is self.vector:
+                self.vector = entry[2]
+                self._after_vector_advance()
+                return
+            old = self.vector
+            if not old.dominates_dict(msg.prev_vector):
+                self._handle_push_gap(sender)
+                return
+            self._advance_vector(msg.stable_vector)
+            if len(memo) >= EdgeNode._PUSH_MEMO_CAP:
+                memo.clear()
+            memo[id(msg)] = (msg, old, self.vector)
+            return
+        if not self.vector.dominates_dict(msg.prev_vector):
             # We missed an earlier delta (e.g. across a partition):
             # re-open the session to get a full re-seed rather than
             # advancing the vector past transactions we do not hold.
@@ -378,22 +435,29 @@ class EdgeNode(Actor):
                 if self.obs.enabled:
                     self.obs.record(VISIBLE, txn.dot, self.node_id,
                                     self.now, via="push", frm=sender)
-        self._advance_vector(VectorClock(msg.stable_vector))
+        self._advance_vector(msg.stable_vector)
         self._notify_subscribers(touched)
 
     def _handle_push_gap(self, sender: str) -> None:
         self.session_open = False
         self.connect()
 
-    def _advance_vector(self, vector: VectorClock) -> None:
-        self.vector = self.vector.merge(vector)
+    def _advance_vector(self, vector: Mapping[str, int]) -> None:
+        """Merge a raw wire vector into ours (every push lands here)."""
+        self.vector = self.vector.merge_dict(vector)
+        self._after_vector_advance()
+
+    def _after_vector_advance(self) -> None:
+        """Housekeeping run after every vector advance (any path)."""
         # Drop uncovered entries that the vector now covers.
-        covered = [dot for dot, txn in self._uncovered.items()
-                   if not txn.commit.is_symbolic
-                   and txn.commit.included_in(self.vector)]
-        for dot in covered:
-            del self._uncovered[dot]
-        self._refresh_security()
+        if self._uncovered:
+            covered = [dot for dot, txn in self._uncovered.items()
+                       if not txn.commit.is_symbolic
+                       and txn.commit.included_in(self.vector)]
+            for dot in covered:
+                del self._uncovered[dot]
+        if self.security_enabled:
+            self._refresh_security()
         # Periodically fold the covered journal prefix into base versions.
         # Safe because transactions restart with fresh snapshots after any
         # suspension, so no reader holds a snapshot older than the fold.
@@ -648,7 +712,7 @@ class EdgeNode(Actor):
     def _on_object_response(self, msg: ObjectResponse, sender: str) -> None:
         self._install_seed(msg.object_state,
                            VectorClock(msg.stable_vector))
-        self._advance_vector(VectorClock(msg.stable_vector))
+        self._advance_vector(msg.stable_vector)
         key = ObjectKey.from_dict(msg.object_state["key"])
         self._resume_fetches(key)
 
@@ -866,3 +930,17 @@ class EdgeNode(Actor):
                 yield tx.update(key, type_name, method, *args)
             return tuple(values)
         self.run_transaction(body, on_done=on_done)
+
+
+# Wire types are final (never subclassed), so exact-type dispatch is
+# equivalent to the isinstance chain it replaced.  Resolved here, after
+# the class body, because _build_dispatch needs the methods to exist.
+_MESSAGE_TYPES = {
+    "SessionAck": SessionAck,
+    "UpdatePush": UpdatePush,
+    "CommitAck": CommitAck,
+    "CommitReject": CommitReject,
+    "ObjectResponse": ObjectResponse,
+    "RemoteTxnReply": RemoteTxnReply,
+}
+EdgeNode._build_dispatch()

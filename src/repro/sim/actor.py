@@ -55,13 +55,16 @@ class Actor:
     def every(self, period: float, callback: Callable[[], None],
               jitter: float = 0.0) -> None:
         """Run ``callback`` every ``period`` ms until the actor crashes."""
+        # Rescheduled via the allocation-free path: periodic protocol
+        # timers dominate the event population at scale and never need
+        # a cancellation handle (crash is checked in the tick itself).
         def tick() -> None:
             if self.crashed:
                 return
             callback()
             delay = period + (self.rng.uniform(0, jitter) if jitter else 0.0)
-            self.loop.schedule(delay, tick)
-        self.loop.schedule(period, tick)
+            self.loop.schedule_fast(delay, tick)
+        self.loop.schedule_fast(period, tick)
 
     # -- failure ----------------------------------------------------------------
     def crash(self) -> None:

@@ -1,44 +1,110 @@
-"""Event heap and simulation clock.
+"""Event heap, timer wheel and simulation clock.
 
-Time is a float in **milliseconds**.  Determinism: ties on the heap break by
-a monotonically increasing sequence number, and all randomness must come
-from the simulation's seeded RNG, so a run is a pure function of its seed.
+Time is a float in **milliseconds**.  Determinism: ties break by a
+monotonically increasing sequence number, and all randomness must come
+from the simulation's seeded RNG, so a run is a pure function of its
+seed.
+
+Fast-path design (the sim core is the throughput bottleneck at
+10^4-10^6 simulated nodes):
+
+* The priority queue holds plain ``(time, seq, callback, args)`` tuples,
+  so heap sift compares resolve with C tuple comparison on ``(time,
+  seq)`` instead of a Python-level ``Event.__lt__`` call per step.
+  ``seq`` is unique, so slots 2-3 are never compared and may hold
+  arbitrary (even mutually incomparable) values.
+* A **timer wheel** absorbs the dominant near-future event population
+  (periodic protocol timers — sync pings, retry ticks, keepalives,
+  Nagle flushes — and in-flight message deliveries): scheduling into a
+  wheel slot is an O(1) append instead of an O(log n) sift against every
+  pending far-future event.  When the clock reaches a slot it is sorted
+  once and drained directly (merged entry-by-entry against the heap
+  head), so a wheel entry never pays a heap push/pop; the exact global
+  ``(time, seq)`` order is preserved because ``seq`` is unique.
+* Cancellable events (``schedule``) carry an :class:`Event` handle in
+  the callback slot; the hot paths (message delivery, periodic ticks)
+  use ``schedule_fast`` and allocate nothing beyond the entry tuple.
+* ``pending()`` is O(1): a live counter is maintained on schedule,
+  cancel and pop instead of scanning the heap.
+* Cancelled entries are dropped lazily when popped or when their wheel
+  slot flushes; if cancellations ever outnumber half the queued entries
+  the structures are compacted eagerly so a cancel-heavy workload
+  cannot grow the queue without bound.
+
+Budget semantics of :meth:`EventLoop.run`: ``max_events`` bounds how
+many events one call processes.  When the budget runs out, the clock
+advances as far as it can without skipping work — to ``min(until,
+next-pending-event-time)`` when ``until`` was given, else it stays at
+the last processed event.  Events are never skipped: a subsequent
+``run`` resumes exactly where the budget cut off.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
+
+_PENDING, _FIRED, _CANCELLED = 0, 1, 2
 
 
 class Event:
-    """A scheduled callback; cancellable."""
+    """Handle for a cancellable scheduled callback."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "_state", "_loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None], loop: "EventLoop"):
         self.time = time
         self.seq = seq
         self.callback = callback
-        self.cancelled = False
+        self._state = _PENDING
+        self._loop = loop
+
+    @property
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
 
     def cancel(self) -> None:
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        """Cancel if still pending; cancelling a fired event is a no-op."""
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            self._loop._note_cancel()
 
 
 class EventLoop:
-    """Priority-queue event loop with a virtual clock."""
+    """Timer-wheel + priority-queue event loop with a virtual clock."""
+
+    #: Wheel geometry: 512 slots of 4 ms cover ~2 s of look-ahead, which
+    #: spans every periodic protocol timer (0.25-1000 ms) and all
+    #: modelled link latencies.  Events beyond the horizon go straight
+    #: to the heap (they are rare: long settle timers, far schedules).
+    WHEEL_SLOT_MS = 4.0
+    WHEEL_SLOTS = 512
+
+    #: Compact when more than half the queued entries are cancelled
+    #: (and there is enough garbage for the rebuild to pay off).
+    COMPACT_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._heap: List[Tuple] = []
+        self._seq = 0
         self._now = 0.0
         self._processed = 0
+        self._live = 0          # non-cancelled entries still queued
+        self._cancelled = 0     # cancelled entries not yet dropped
+        self._wheel: List[List[Tuple]] = \
+            [[] for _ in range(self.WHEEL_SLOTS)]
+        self._wheel_count = 0   # entries currently in wheel slots
+        self._cursor = 0        # first un-flushed absolute slot index
+        self._slot_inv = 1.0 / self.WHEEL_SLOT_MS
+        #: The most recently flushed wheel slot, sorted next-event-last
+        #: so draining is ``list.pop()``.  Wheel entries are consumed
+        #: straight from here (merged against the heap head on the fly)
+        #: instead of transiting the heap: one amortised sort replaces a
+        #: heappush + heappop per entry.
+        self._ready: List[Tuple] = []
 
+    # -- clock ------------------------------------------------------------
     @property
     def now(self) -> float:
         return self._now
@@ -47,50 +113,249 @@ class EventLoop:
     def processed_events(self) -> int:
         return self._processed
 
+    # -- scheduling -------------------------------------------------------
+    def _insert(self, entry: Tuple) -> None:
+        """Route an entry to its wheel slot or to the heap."""
+        slot = int(entry[0] * self._slot_inv)
+        cursor = self._cursor
+        if cursor <= slot < cursor + self.WHEEL_SLOTS:
+            self._wheel[slot % self.WHEEL_SLOTS].append(entry)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._heap, entry)
+        self._live += 1
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
-        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        """Run ``callback`` at ``now + delay`` (delay >= 0); cancellable."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        event = Event(self._now + delay, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(self._now + delay, seq, callback, self)
+        # ``args is None`` marks a handle-carrying entry; the handle is
+        # never compared because seq is unique.
+        self._insert((event.time, seq, event, None))
         return event
+
+    def schedule_fast(self, delay: float, callback: Callable[..., None],
+                      args: Tuple = ()) -> None:
+        """Allocation-free scheduling for events that are never cancelled.
+
+        No :class:`Event` handle (and no closure) is created: the
+        callback is invoked as ``callback(*args)``.  This is the hot
+        path for message delivery and periodic ticks.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        # _insert, inlined: this and schedule_fast_at are the two
+        # hottest functions in a large simulation.
+        time = self._now + delay
+        slot = int(time * self._slot_inv)
+        cursor = self._cursor
+        if cursor <= slot < cursor + self.WHEEL_SLOTS:
+            self._wheel[slot % self.WHEEL_SLOTS].append(
+                (time, seq, callback, args))
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._heap, (time, seq, callback, args))
+        self._live += 1
+
+    def schedule_fast_at(self, time: float, callback: Callable[..., None],
+                         args: Tuple = ()) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`.
+
+        The entry fires at exactly ``time`` (clamped to ``now``), with no
+        relative-delay float round-trip — callers that key state on the
+        delivery timestamp (the network's per-link batches) rely on the
+        entry time matching their own ``time`` bit for bit.
+        """
+        if time < self._now:
+            time = self._now
+        seq = self._seq
+        self._seq = seq + 1
+        slot = int(time * self._slot_inv)
+        cursor = self._cursor
+        if cursor <= slot < cursor + self.WHEEL_SLOTS:
+            self._wheel[slot % self.WHEEL_SLOTS].append(
+                (time, seq, callback, args))
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._heap, (time, seq, callback, args))
+        self._live += 1
 
     def schedule_at(self, time: float,
                     callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute ``time`` (>= now)."""
         return self.schedule(max(0.0, time - self._now), callback)
 
-    def step(self) -> bool:
-        """Process the next event; False when the heap is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if (self._cancelled > self.COMPACT_MIN_CANCELLED
+                and self._cancelled * 2
+                > len(self._heap) + self._wheel_count):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (rare, amortised).
+
+        Mutates the containers in place: ``run``/``step`` hold local
+        aliases to the heap and ready buffer across callbacks, and a
+        cancellation inside a callback may land here.
+        """
+        self._heap[:] = [e for e in self._heap
+                         if e[3] is not None or e[2]._state != _CANCELLED]
+        heapq.heapify(self._heap)
+        if self._ready:
+            self._ready[:] = [e for e in self._ready
+                              if e[3] is not None
+                              or e[2]._state != _CANCELLED]
+        for i, slot in enumerate(self._wheel):
+            if slot:
+                kept = [e for e in slot
+                        if e[3] is not None or e[2]._state != _CANCELLED]
+                self._wheel_count -= len(slot) - len(kept)
+                self._wheel[i] = kept
+        self._cancelled = 0
+
+    # -- wheel flushing ----------------------------------------------------
+    def _refill_ready(self) -> bool:
+        """Advance the cursor to the next non-empty slot; fill ``_ready``.
+
+        The slot's surviving entries are sorted next-event-**last** so
+        the execution loops drain them with ``list.pop()``, merging
+        against the heap head entry by entry — no per-entry heap trip.
+        Returns False when the wheel and the heap are both exhausted
+        (the ready buffer is empty whenever this is called).
+
+        Empty slots just advance the cursor; the execution loops pop
+        the heap directly once its head falls below the cursor edge, so
+        skipping ahead here never overtakes an earlier heap entry.
+        """
+        wheel = self._wheel
+        n_slots = self.WHEEL_SLOTS
+        while self._wheel_count:
+            slot = wheel[self._cursor % n_slots]
+            self._cursor += 1
+            if not slot:
                 continue
-            self._now = event.time
-            self._processed += 1
-            event.callback()
+            self._wheel_count -= len(slot)
+            kept = [e for e in slot
+                    if e[3] is not None or e[2]._state != _CANCELLED]
+            self._cancelled -= len(slot) - len(kept)
+            del slot[:]
+            if not kept:
+                continue
+            kept.sort(reverse=True)
+            self._ready.extend(kept)
             return True
-        return False
+        return bool(self._heap)
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event; False when nothing is queued."""
+        heap = self._heap
+        ready = self._ready
+        slot_ms = self.WHEEL_SLOT_MS
+        while True:
+            if ready:
+                entry = ready[-1]
+                if heap and heap[0] < entry:
+                    entry = heapq.heappop(heap)
+                else:
+                    ready.pop()
+            elif heap and (not self._wheel_count
+                           or heap[0][0] < self._cursor * slot_ms):
+                entry = heapq.heappop(heap)
+            elif self._refill_ready():
+                continue
+            else:
+                return False
+            time_, _seq, cb, args = entry
+            if args is None:                    # handle-carrying entry
+                if cb._state == _CANCELLED:
+                    self._cancelled -= 1
+                    continue
+                cb._state = _FIRED
+                self._now = time_
+                self._processed += 1
+                self._live -= 1
+                cb.callback()
+            else:
+                self._now = time_
+                self._processed += 1
+                self._live -= 1
+                cb(*args)
+            return True
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
-        """Drain events, optionally stopping at a time or event budget."""
+        """Drain events, optionally stopping at a time or event budget.
+
+        See the module docstring for the exact budget semantics: on
+        budget exhaustion the clock still advances to ``min(until,
+        next-pending-event-time)`` — never past pending work.
+
+        The next entry is found by merging three sources that are each
+        already ordered: the ready buffer (the drained wheel slot), the
+        heap, and the wheel (whose entries all sit at or beyond the
+        cursor edge, so they cannot precede a heap head strictly below
+        it).  Ties break on the unique ``seq``, so the merge reproduces
+        the exact global ``(time, seq)`` order a single heap would give.
+        """
+        heap = self._heap
+        ready = self._ready
         budget = max_events
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        pop = heapq.heappop
+        slot_ms = self.WHEEL_SLOT_MS
+        while True:
+            from_ready = False
+            if ready:
+                head = ready[-1]
+                if heap and heap[0] < head:
+                    head_time = heap[0][0]
+                else:
+                    from_ready = True
+                    head_time = head[0]
+            elif heap and (not self._wheel_count
+                           or heap[0][0] < self._cursor * slot_ms):
+                head_time = heap[0][0]
+            elif self._refill_ready():
                 continue
-            if until is not None and head.time > until:
+            else:
+                break
+            if until is not None and head_time > until:
                 self._now = until
                 return
-            if budget is not None:
-                if budget <= 0:
-                    return
-                budget -= 1
-            self.step()
+            if budget is not None and budget <= 0:
+                if until is not None:
+                    # Advance as far as the budget allows without
+                    # skipping the pending head.
+                    self._now = max(self._now, min(until, head_time))
+                return
+            time_, _seq, cb, args = ready.pop() if from_ready \
+                else pop(heap)
+            if args is None:
+                if cb._state == _CANCELLED:
+                    self._cancelled -= 1
+                    continue
+                cb._state = _FIRED
+                self._now = time_
+                self._processed += 1
+                self._live -= 1
+                if budget is not None:
+                    budget -= 1
+                cb.callback()
+            else:
+                self._now = time_
+                self._processed += 1
+                self._live -= 1
+                if budget is not None:
+                    budget -= 1
+                cb(*args)
         if until is not None and until > self._now:
             self._now = until
 
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) queued events — O(1), counter-backed."""
+        return self._live

@@ -7,7 +7,17 @@ Default latencies follow the paper's setup (section 7.2): 0.15 ms
 intra-cluster, 10 ms carrier Ethernet, 50 ms mobile cellular.
 
 Links are FIFO per direction (TCP/WebRTC data channels are ordered): a
-message never overtakes an earlier one on the same directed link.
+message never overtakes an earlier one on the same directed link.  FIFO
+is enforced by clamping a delivery time to the link's previous one and
+letting the event loop's sequence number break the tie — the schedule
+order *is* the send order — rather than by inflating timestamps
+(``+ 1e-6``), which distorted latency and accrued float error under
+bursts.  The pre-sequencing behaviour survives as ``fifo_mode="bump"``
+so the equivalence property tests can run both orderings side by side.
+
+The send/delivery path is allocation-free: no per-message closure or
+handle is created (messages ride ``EventLoop.schedule_fast`` entries),
+and same-tick deliveries on one link coalesce into a single batch event.
 """
 
 from __future__ import annotations
@@ -72,10 +82,27 @@ class NetworkStats:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        # Loop events spent delivering: one per delivery batch (or per
+        # message on the legacy path).  ``messages_delivered`` minus
+        # this is the number of heap operations batching saved; the
+        # scale bench uses it to report logical (per-message) events.
+        self.delivery_events = 0
         self.bytes_sent = 0
         self.drops_by_link: Dict[Tuple[str, str], int] = {}
-        self.bytes_by_link: Dict[Tuple[str, str], int] = {}
-        self.messages_by_link: Dict[Tuple[str, str], int] = {}
+        #: ``link -> [messages, bytes]`` — one mutable record per
+        #: directed link, shared with the network's per-link send state
+        #: so the hot path updates it without re-hashing the link key.
+        self.link_traffic: Dict[Tuple[str, str], list] = {}
+
+    @property
+    def bytes_by_link(self) -> Dict[Tuple[str, str], int]:
+        """Per-link byte totals (derived view; see ``link_traffic``)."""
+        return {k: v[1] for k, v in self.link_traffic.items() if v[1]}
+
+    @property
+    def messages_by_link(self) -> Dict[Tuple[str, str], int]:
+        """Per-link message totals (derived view of ``link_traffic``)."""
+        return {k: v[0] for k, v in self.link_traffic.items() if v[0]}
 
     def snapshot(self) -> "NetworkStats":
         """Frozen copy of every counter, for phase accounting."""
@@ -83,10 +110,10 @@ class NetworkStats:
         copy.messages_sent = self.messages_sent
         copy.messages_delivered = self.messages_delivered
         copy.messages_dropped = self.messages_dropped
+        copy.delivery_events = self.delivery_events
         copy.bytes_sent = self.bytes_sent
         copy.drops_by_link = dict(self.drops_by_link)
-        copy.bytes_by_link = dict(self.bytes_by_link)
-        copy.messages_by_link = dict(self.messages_by_link)
+        copy.link_traffic = {k: v[:] for k, v in self.link_traffic.items()}
         return copy
 
     def since(self, baseline: "NetworkStats") -> "NetworkStats":
@@ -104,20 +131,24 @@ class NetworkStats:
             self.messages_delivered - baseline.messages_delivered
         delta.messages_dropped = \
             self.messages_dropped - baseline.messages_dropped
+        delta.delivery_events = \
+            self.delivery_events - baseline.delivery_events
         delta.bytes_sent = self.bytes_sent - baseline.bytes_sent
         if delta.messages_sent < 0 or delta.bytes_sent < 0:
             raise ValueError("baseline is newer than these stats")
-        for mine, theirs, out in (
-                (self.drops_by_link, baseline.drops_by_link,
-                 delta.drops_by_link),
-                (self.bytes_by_link, baseline.bytes_by_link,
-                 delta.bytes_by_link),
-                (self.messages_by_link, baseline.messages_by_link,
-                 delta.messages_by_link)):
-            for link, value in mine.items():
-                diff = value - theirs.get(link, 0)
-                if diff:
-                    out[link] = diff
+        for link, value in self.drops_by_link.items():
+            diff = value - baseline.drops_by_link.get(link, 0)
+            if diff:
+                delta.drops_by_link[link] = diff
+        for link, record in self.link_traffic.items():
+            base = baseline.link_traffic.get(link)
+            if base is None:
+                if record[0] or record[1]:
+                    delta.link_traffic[link] = record[:]
+            else:
+                diff = [record[0] - base[0], record[1] - base[1]]
+                if diff[0] or diff[1]:
+                    delta.link_traffic[link] = diff
         return delta
 
     def publish(self, registry: Any, prefix: str = "net") -> None:
@@ -141,14 +172,19 @@ class NetworkStats:
         for (src, dst), value in sorted(self.drops_by_link.items()):
             registry.gauge(f"{prefix}.link.{src}->{dst}.drops").set(value)
 
+    def traffic_record(self, link: Tuple[str, str]) -> list:
+        """The mutable ``[messages, bytes]`` record for a link."""
+        record = self.link_traffic.get(link)
+        if record is None:
+            record = self.link_traffic[link] = [0, 0]
+        return record
+
     def record_send(self, src: str, dst: str, size_bytes: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size_bytes
-        link = (src, dst)
-        self.bytes_by_link[link] = \
-            self.bytes_by_link.get(link, 0) + size_bytes
-        self.messages_by_link[link] = \
-            self.messages_by_link.get(link, 0) + 1
+        record = self.traffic_record((src, dst))
+        record[0] += 1
+        record[1] += size_bytes
 
     def record_drop(self, src: str, dst: str) -> None:
         self.messages_dropped += 1
@@ -161,11 +197,13 @@ class NetworkStats:
 
     def bytes_on(self, src: str, dst: str) -> int:
         """Bytes queued on the directed link ``src -> dst``."""
-        return self.bytes_by_link.get((src, dst), 0)
+        record = self.link_traffic.get((src, dst))
+        return record[1] if record else 0
 
     def messages_on(self, src: str, dst: str) -> int:
         """Messages queued on the directed link ``src -> dst``."""
-        return self.messages_by_link.get((src, dst), 0)
+        record = self.link_traffic.get((src, dst))
+        return record[0] if record else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"NetworkStats(sent={self.messages_sent},"
@@ -178,16 +216,36 @@ class Network:
     """Directed message delivery between named nodes."""
 
     def __init__(self, loop: EventLoop, rng: random.Random,
-                 default_latency: Optional[LatencyModel] = None):
+                 default_latency: Optional[LatencyModel] = None,
+                 fifo_mode: str = "seq"):
         self._loop = loop
         self._rng = rng
         self._default = default_latency or LatencyModel(1.0)
         self._links: Dict[Tuple[str, str], LatencyModel] = {}
         self._handlers: Dict[str, Callable[[Any, str], None]] = {}
-        self._last_delivery: Dict[Tuple[str, str], float] = {}
         self._cut: Set[frozenset] = set()
         self._down: Set[str] = set()
         self._loss_rate: Dict[Tuple[str, str], float] = {}
+        #: One mutable record per directed link, so ``send`` resolves
+        #: everything link-scoped with a single dict lookup:
+        #: ``[model, traffic, last_delivery, tail_time, tail_batch]``
+        #: where ``traffic`` is the ``[messages, bytes]`` list shared
+        #: with ``stats.link_traffic``, ``last_delivery`` is the latest
+        #: scheduled delivery time (FIFO clamp), and the tail fields
+        #: describe the link's newest not-yet-fired delivery batch (a
+        #: send landing on the same instant appends instead of
+        #: scheduling another event).
+        self._link_state: Dict[Tuple[str, str], list] = {}
+        #: ``type -> bool`` memo of which message classes define
+        #: ``wire_size`` (saves a getattr per send on the hot path).
+        self._wire_sized: Dict[type, bool] = {}
+        if fifo_mode not in ("seq", "bump"):
+            raise ValueError(f"unknown fifo_mode {fifo_mode!r}")
+        #: "seq" (default) orders same-link deliveries by schedule
+        #: sequence; "bump" reproduces the historical
+        #: ``_last_delivery + 1e-6`` timestamp inflation for
+        #: equivalence testing against the old ordering.
+        self.fifo_mode = fifo_mode
         self.stats = NetworkStats()
         # Lifecycle trace recorder; actors reach it via ``Actor.obs``.
         # The null default keeps tracing a pure observer: assigning a
@@ -208,8 +266,14 @@ class Network:
     def set_link(self, a: str, b: str, model: LatencyModel,
                  symmetric: bool = True) -> None:
         self._links[(a, b)] = model
+        state = self._link_state.get((a, b))
+        if state is not None:
+            state[0] = model
         if symmetric:
             self._links[(b, a)] = model
+            state = self._link_state.get((b, a))
+            if state is not None:
+                state[0] = model
 
     def set_loss_rate(self, a: str, b: str, rate: float,
                       symmetric: bool = True) -> None:
@@ -254,30 +318,95 @@ class Network:
         (and they do — that is the point of the paper).
         """
         if size_bytes is None:
-            sizer = getattr(message, "wire_size", None)
-            size_bytes = sizer() if sizer is not None \
+            klass = type(message)
+            sized = self._wire_sized.get(klass)
+            if sized is None:
+                sized = self._wire_sized[klass] = \
+                    callable(getattr(klass, "wire_size", None))
+            size_bytes = message.wire_size() if sized \
                 else DEFAULT_MESSAGE_BYTES
-        self.stats.record_send(src, dst, size_bytes)
-        if not self.is_reachable(src, dst):
-            self.stats.record_drop(src, dst)
-            return False
-        rate = self._loss_rate.get((src, dst), 0.0)
-        if rate and self._rng.random() < rate:
-            self.stats.record_drop(src, dst)
-            return False
-        model = self._links.get((src, dst), self._default)
-        latency = model.sample(self._rng)
         link = (src, dst)
-        deliver_at = max(self._loop.now + latency,
-                         self._last_delivery.get(link, 0.0) + 1e-6)
-        self._last_delivery[link] = deliver_at
-        self._loop.schedule_at(deliver_at,
-                               lambda: self._deliver(src, dst, message))
+        state = self._link_state.get(link)
+        if state is None:
+            state = self._link_state[link] = [
+                self._links.get(link, self._default),
+                self.stats.traffic_record(link), None, -1.0, None]
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
+        traffic = state[1]
+        traffic[0] += 1
+        traffic[1] += size_bytes
+        if (self._down or self._cut) and not self.is_reachable(src, dst):
+            stats.record_drop(src, dst)
+            return False
+        rng = self._rng
+        rate = self._loss_rate.get(link) if self._loss_rate else None
+        if rate and rng.random() < rate:
+            stats.record_drop(src, dst)
+            return False
+        loop = self._loop
+        now = loop.now
+        # Inlined LatencyModel.sample: bit-identical to
+        # ``base + rng.uniform(0.0, jitter)`` (uniform(0, j) computes
+        # ``0.0 + (j - 0.0) * random()``), with the same draw-only-if-
+        # jittered rule, minus two call frames per message.
+        model = state[0]
+        jitter = model.jitter_ms
+        latency = model.base_ms + jitter * rng.random() if jitter \
+            else model.base_ms
+        if self.fifo_mode == "bump":
+            # Historical ordering: force strictly increasing per-link
+            # delivery times.  Kept only for equivalence testing.
+            last = state[2]
+            deliver_at = max(now + latency,
+                             (last if last is not None else 0.0) + 1e-6)
+            state[2] = deliver_at
+            loop.schedule_fast(deliver_at - now, self._deliver,
+                               (src, dst, message))
+            return True
+        deliver_at = now + latency
+        last = state[2]
+        if last is not None and deliver_at < last:
+            deliver_at = last       # FIFO clamp; seq breaks the tie
+        if state[3] == deliver_at and deliver_at > now:
+            # The link's next delivery event fires at exactly this time
+            # and has not run yet (strictly in the future): coalesce.
+            state[4].append(message)
+        else:
+            batch = [message]
+            state[3] = deliver_at
+            state[4] = batch
+            loop.schedule_fast_at(deliver_at, self._deliver_batch,
+                                  (src, dst, batch))
+        state[2] = deliver_at
         return True
 
-    def _deliver(self, src: str, dst: str, message: Any) -> None:
+    def _deliver_batch(self, src: str, dst: str, batch: list) -> None:
         # Check reachability again at delivery time: a partition that
-        # appeared while the message was in flight kills it (TCP reset).
+        # appeared while the batch was in flight kills it (TCP reset).
+        stats = self.stats
+        stats.delivery_events += 1
+        if (self._down or self._cut) and not self.is_reachable(src, dst):
+            for _ in batch:
+                stats.record_drop(src, dst)
+            return
+        handlers = self._handlers
+        delivered = 0
+        for message in batch:
+            # Per-message handler lookup: a handler may detach its node
+            # mid-batch, and the rest of the batch must then drop.
+            handler = handlers.get(dst)
+            if handler is None:
+                stats.record_drop(src, dst)
+                continue
+            delivered += 1
+            handler(message, src)
+        stats.messages_delivered += delivered
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        """Single-message delivery (legacy "bump" ordering path)."""
+        self.stats.delivery_events += 1
         if not self.is_reachable(src, dst):
             self.stats.record_drop(src, dst)
             return

@@ -205,3 +205,31 @@ class TestSimulationDeterminism:
         sim.spawn(_Echo, "a")
         with pytest.raises(ValueError):
             sim.spawn(_Echo, "a")
+
+
+class TestFrozenWorld:
+    def test_freeze_restores_gc_state(self):
+        import gc
+        sim = Simulation(seed=3)
+        a = sim.spawn(_Echo, "a")
+        sim.spawn(_Echo, "b")
+        before = gc.get_threshold()
+        with sim.frozen_world() as frozen:
+            assert frozen > 0
+            assert gc.get_threshold() == Simulation.GC_FROZEN_THRESHOLDS
+            for i in range(5):
+                sim.loop.schedule(float(i), lambda i=i: a.send("b", i))
+            sim.run()
+        assert gc.get_threshold() == before
+        assert gc.get_freeze_count() == 0
+        assert len(sim.actors["b"].received) == 5
+
+    def test_freeze_restores_on_error(self):
+        import gc
+        sim = Simulation(seed=3)
+        before = gc.get_threshold()
+        with pytest.raises(RuntimeError):
+            with sim.frozen_world():
+                raise RuntimeError("boom")
+        assert gc.get_threshold() == before
+        assert gc.get_freeze_count() == 0
