@@ -40,6 +40,10 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
                         help="fault/workload window in sim ms")
     parser.add_argument("--max-faults", type=int, default=8,
                         help="max fault events per schedule")
+    parser.add_argument("--replication-mode", default="batched",
+                        choices=("batched", "partial"),
+                        help="DC geo-replication mode under test "
+                             "(default batched)")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the JSON report here")
     parser.add_argument("--no-shrink", action="store_true",
@@ -84,7 +88,8 @@ def _traced_scenario(args: argparse.Namespace) -> int:
         return 2
     config = ScenarioConfig(topology=args.topology, seed=args.seed,
                             n_txns=args.txns, window_ms=args.window,
-                            max_faults=args.max_faults)
+                            max_faults=args.max_faults,
+                            replication_mode=args.replication_mode)
     recorder = TraceRecorder()
     result = run_scenario(config, recorder=recorder)
     with open(args.trace, "w") as handle:
@@ -138,7 +143,8 @@ def main(argv: List[str] = None) -> int:
     report = run_suite(
         seeds, topologies,
         config_kwargs={"n_txns": args.txns, "window_ms": args.window,
-                       "max_faults": args.max_faults},
+                       "max_faults": args.max_faults,
+                       "replication_mode": args.replication_mode},
         shrink=not args.no_shrink, log=print)
     totals = report["totals"]
     print(f"chaos: {totals['passed']}/{totals['scenarios']} scenarios "

@@ -128,17 +128,31 @@ class InvariantChecker:
             self._last_vectors[name] = vector
         return violations
 
+    def required_k(self, dot: Dot) -> int:
+        """The stability threshold the gate holds ``dot`` to.
+
+        Partial replication counts only *interested* replicas, so each
+        DC computes a per-entry threshold; the gate uses the weakest
+        (smallest) one any DC would apply — an edge exposing below even
+        that is certainly wrong.  Outside partial mode every DC answers
+        the global ``k_target`` and this reduces to the classic rule.
+        """
+        if not self.dcs:
+            return self.k_target
+        return min(dc.required_k(dot) for dc in self.dcs)
+
     def check_kstability_gate(self) -> List[InvariantViolation]:
         """No edge exposes a foreign txn replicated at fewer than K DCs."""
         violations = []
         for replica in self.replicas:
             for dot in replica.exposed_dots():
                 holders = self.global_holders(dot)
-                if len(holders) < self.k_target:
+                required = self.required_k(dot)
+                if len(holders) < required:
                     violations.append(InvariantViolation(
                         "k-stability-gate", replica.node_id,
                         f"exposes {dot} held only at "
-                        f"{sorted(holders)} (K={self.k_target})",
+                        f"{sorted(holders)} (K={required})",
                         self._now()))
         return violations
 
@@ -156,6 +170,28 @@ class InvariantChecker:
                     "stream-contiguity", dc.node_id,
                     f"stream {origin} advertised up to "
                     f"{dc.state_vector[origin]} but misses {missing}",
+                    self._now()))
+        return violations
+
+    def check_shard_contiguity(self) -> List[InvariantViolation]:
+        """Per-shard streams have no unhealed holes (partial mode).
+
+        A skip-covered position whose shard mask intersects a DC's
+        interest set must be filled by backfill; positions missing with
+        no backfill in flight mean the interest-change protocol lost
+        data.  A no-op outside partial mode (``shard_stream_gaps``
+        returns ``{}``).
+        """
+        violations = []
+        for dc in self.dcs:
+            gaps = getattr(dc, "shard_stream_gaps", None)
+            if gaps is None:
+                continue
+            for origin, missing in gaps().items():
+                violations.append(InvariantViolation(
+                    "shard-stream-contiguity", dc.node_id,
+                    f"stream {origin}: interested positions {missing} "
+                    f"skip-covered with no backfill pending",
                     self._now()))
         return violations
 
@@ -207,6 +243,7 @@ class InvariantChecker:
         violations += self.check_vector_monotonicity()
         violations += self.check_kstability_gate()
         violations += self.check_stream_contiguity()
+        violations += self.check_shard_contiguity()
         violations += self.check_sessions()
         return violations
 

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.journal import JournalEntry
 from ..core.txn import ObjectKey, Transaction
 from ..dc.datacenter import DataCenter
+from ..dc.interest import ShardMap
 from ..edge.node import EdgeNode
 from ..edge.pop import PoPNode
 from ..groups.peergroup import GroupMember, form_group
@@ -46,7 +47,8 @@ class ScenarioConfig:
                  max_faults: int = 8, checkpoint_ms: float = 250.0,
                  settle_step_ms: float = 500.0,
                  settle_max_ms: float = 40000.0,
-                 fifo_mode: str = "seq"):
+                 fifo_mode: str = "seq",
+                 replication_mode: str = "batched"):
         if topology not in TOPOLOGIES:
             raise ValueError(f"unknown topology {topology!r}")
         self.topology = topology
@@ -61,6 +63,11 @@ class ScenarioConfig:
         # per-link FIFO, and the parity property tests run scenarios
         # under each to prove the reports are byte-identical.
         self.fifo_mode = fifo_mode
+        # DC geo-replication wire format.  "partial" exercises the
+        # interest-driven pipeline (adverts, skip runs, per-shard
+        # invariants) in its all-interested configuration, which must
+        # behave exactly like "batched".
+        self.replication_mode = replication_mode
 
 
 class World:
@@ -94,14 +101,21 @@ KEYS = [(ObjectKey("chaos", "c0"), "counter"),
         (ObjectKey("chaos", "s0"), "orset")]
 
 
-def _build_dcs(sim: Simulation, n_dcs: int = 2,
-               k_target: int = 2) -> List[DataCenter]:
+def _build_dcs(sim: Simulation, n_dcs: int = 2, k_target: int = 2,
+               replication_mode: str = "batched") -> List[DataCenter]:
     dc_ids = [f"dc{i}" for i in range(n_dcs)]
+    shard_map = None
+    if replication_mode == "partial":
+        # All-interested map: every DC serves every shard, so nothing
+        # is ever pruned and the partial pipeline must match batched.
+        shard_map = ShardMap(8, dc_ids)
     dcs = []
     for dc_id in dc_ids:
         dc = sim.spawn(DataCenter, dc_id,
                        peer_dcs=[d for d in dc_ids if d != dc_id],
-                       n_shards=2, k_target=k_target)
+                       n_shards=2, k_target=k_target,
+                       replication_mode=replication_mode,
+                       shard_map=shard_map)
         dcs.append(dc)
         for shard in dc.shard_ids:
             sim.network.set_link(dc_id, shard, LAN)
@@ -120,7 +134,8 @@ def _declare(node: EdgeNode,
 
 def build_world(topology: str, seed: int,
                 edge_cls: type = EdgeNode,
-                fifo_mode: str = "seq") -> World:
+                fifo_mode: str = "seq",
+                replication_mode: str = "batched") -> World:
     """Build one of the standard topologies, warmed up and converged.
 
     ``edge_cls`` swaps the implementation of the solo far edge — the
@@ -128,7 +143,8 @@ def build_world(topology: str, seed: int,
     """
     sim = Simulation(seed=seed, default_latency=CELLULAR,
                      fifo_mode=fifo_mode)
-    dcs = _build_dcs(sim, n_dcs=2, k_target=2)
+    dcs = _build_dcs(sim, n_dcs=2, k_target=2,
+                     replication_mode=replication_mode)
     k_target = 2
     far = sim.spawn(edge_cls, "far", dc_id="dc1")
     sim.network.set_link("far", "dc1", CELLULAR)
@@ -369,6 +385,7 @@ class ScenarioResult:
         data = {
             "topology": self.config.topology,
             "seed": self.config.seed,
+            "replication_mode": self.config.replication_mode,
             "ok": self.ok,
             "violations": [v.to_dict() for v in self.violations],
             "converged": self.converged,
@@ -401,7 +418,8 @@ def run_scenario(config: ScenarioConfig,
     tracing on or off; the trace itself is a separate artifact.
     """
     world = build_world(config.topology, config.seed, edge_cls=edge_cls,
-                        fifo_mode=config.fifo_mode)
+                        fifo_mode=config.fifo_mode,
+                        replication_mode=config.replication_mode)
     sim = world.sim
     if recorder is not None:
         sim.network.obs = recorder

@@ -1,6 +1,7 @@
 """Data-centre SI zone: shard servers, sequencer, geo-replication."""
 
 from .datacenter import DataCenter
+from .interest import ShardMap
 from .server import ShardServer
 
-__all__ = ["DataCenter", "ShardServer"]
+__all__ = ["DataCenter", "ShardMap", "ShardServer"]

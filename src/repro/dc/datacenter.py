@@ -35,16 +35,20 @@ from ..security.enforcement import SecurityEnforcer
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
-from .messages import (HEADER_BYTES, CommitAck, CommitReject, DCSyncPing,
-                       EdgeCommit, EdgeCommitBatch, InterestChange,
+from .interest import ShardMap, shards_of_mask
+from .messages import (HEADER_BYTES, SKIP_MARKER_BYTES, CommitAck,
+                       CommitReject, DCSyncPing, EdgeCommit,
+                       EdgeCommitBatch, InterestAdvert, InterestChange,
                        ObjectRequest, ObjectResponse, RemoteTxnReply,
                        RemoteTxnRequest, Replicate, ReplicateBatch,
-                       ReplicateBatchAck, SessionAck, SessionOpen,
-                       ShardApply, ShardApplyBatch, ShardCommit,
+                       ReplicateBatchAck, ReplicatePartialBatch,
+                       SessionAck, SessionOpen, ShardApply,
+                       ShardApplyBatch, ShardBackfill, ShardCommit,
                        ShardCompactMsg, ShardPrepare, ShardRead,
                        ShardReadReply, ShardVote, StabilityAck, UpdatePush,
                        vector_wire_size)
-from .replog import ReplLink, decode_stream_entry, encode_stream_entry
+from .replog import (ReplLink, SkipRun, decode_stream_entry,
+                     encode_stream_entry)
 from .server import ShardServer
 from ..store.ring import HashRing
 
@@ -73,30 +77,35 @@ class _ReplQueue:
     both operations stay O(log n) instead of the naive O(n) scans.
     """
 
-    __slots__ = ("_entries", "_keys", "_dots", "_head")
+    __slots__ = ("_entries", "_keys", "_dots", "_runs", "_head")
 
     def __init__(self) -> None:
-        self._entries: List[Transaction] = []
+        # Transactions and (partial mode) SkipRun markers, stream-ordered.
+        self._entries: List[Any] = []
         # Origin timestamps parallel to _entries; unknown ts sorts last.
         self._keys: List[float] = []
         self._dots: Set[Dot] = set()
+        self._runs: Set[Tuple[int, int, int]] = set()
         self._head = 0
 
     def __len__(self) -> int:
         return len(self._entries) - self._head
 
-    def head(self) -> Transaction:
+    def head(self) -> Any:
         return self._entries[self._head]
 
-    def popleft(self) -> Transaction:
-        txn = self._entries[self._head]
+    def popleft(self) -> Any:
+        item = self._entries[self._head]
         self._head += 1
-        self._dots.discard(txn.dot)
+        if isinstance(item, SkipRun):
+            self._runs.discard((item.start_ts, item.count, item.mask))
+        else:
+            self._dots.discard(item.dot)
         if self._head >= 32 and self._head * 2 >= len(self._entries):
             del self._entries[:self._head]
             del self._keys[:self._head]
             self._head = 0
-        return txn
+        return item
 
     def insert(self, ts: Optional[int], txn: Transaction) -> bool:
         """Queue in stream order; False when the dot is already queued."""
@@ -107,6 +116,18 @@ class _ReplQueue:
         self._entries.insert(index, txn)
         self._keys.insert(index, key)
         self._dots.add(txn.dot)
+        return True
+
+    def insert_run(self, run: SkipRun) -> bool:
+        """Queue a skip run by start position; dedup exact resends."""
+        ident = (run.start_ts, run.count, run.mask)
+        if ident in self._runs:
+            return False
+        key = float(run.start_ts)
+        index = bisect.bisect_right(self._keys, key, lo=self._head)
+        self._entries.insert(index, run)
+        self._keys.insert(index, key)
+        self._runs.add(ident)
         return True
 
 
@@ -161,15 +182,22 @@ class DataCenter(Actor):
                  rng: Optional[random.Random] = None,
                  replication_mode: str = "batched",
                  repl_flush_ms: Optional[float] = None,
-                 repl_batch_max: Optional[int] = None):
+                 repl_batch_max: Optional[int] = None,
+                 shard_map: Optional[ShardMap] = None,
+                 k_floor: int = 1):
         super().__init__(node_id, loop, network, rng)
         self.peer_dcs: List[str] = list(peer_dcs or [])
         self.k_target = k_target
         self.security = security
-        if replication_mode not in ("batched", "unbatched"):
+        if replication_mode not in ("batched", "full", "unbatched",
+                                    "partial"):
             raise ValueError(
                 f"unknown replication mode {replication_mode!r}")
         self.replication_mode = replication_mode
+        # "full" is the equivalence alias of "batched": every DC
+        # interested in every shard, identical frames on the wire.
+        self._batched = replication_mode != "unbatched"
+        self._partial = replication_mode == "partial"
         self.repl_flush_ms = (self.REPL_FLUSH_MS if repl_flush_ms is None
                               else repl_flush_ms)
         self.repl_batch_max = (self.REPL_BATCH_MAX
@@ -222,6 +250,47 @@ class DataCenter(Actor):
         self._shard_apply_buf: Dict[str, List[dict]] = {}
         # Chain-encoded own-stream entries, shared across every link.
         self._entry_cache: Dict[int, Tuple[dict, int]] = {}
+        # Per-link chain encodings for partial mode: pruning makes the
+        # previous *shipped* entry link-dependent, so entries are keyed
+        # by (previous full entry ts, ts); links with equal interest
+        # still share encodings.
+        self._partial_entry_cache: Dict[Tuple[int, int],
+                                        Tuple[dict, int]] = {}
+
+        # -- partial replication: interest graph --------------------------
+        if self._partial and shard_map is None:
+            # Default to the all-interested configuration: the partial
+            # machinery runs (adverts, per-shard invariants) but never
+            # prunes, which is the digest-equivalence baseline.
+            shard_map = ShardMap(8, [node_id, *self.peer_dcs])
+        self.shard_map = shard_map
+        self.k_floor = k_floor
+        # Interest = shards we serve (from the shared map) union shards
+        # any attached edge session subscribes to (refcounted below).
+        self._interest_mask = (shard_map.served(node_id)
+                               if self._partial and shard_map else 0)
+        self._interest_seq = 0
+        self._peer_interest: Dict[str, int] = {}
+        self._peer_interest_seq: Dict[str, int] = {}
+        if self._partial and shard_map is not None:
+            for peer in self.peer_dcs:
+                self._peer_interest[peer] = shard_map.served(peer)
+                self._peer_interest_seq[peer] = 0
+        # Shard mask of each own-stream position (at sequencing time).
+        self._stream_masks: Dict[int, int] = {}
+        # (shard mask, stream origin) of every entry we hold, for the
+        # interested-replica K-stability rule.
+        self._entry_meta: Dict[Dot, Tuple[int, str]] = {}
+        # Applied skip runs per origin, sorted by start (the flat
+        # frontier covers them without a stored entry).
+        self._skip_runs: Dict[str, List[SkipRun]] = {}
+        self._skip_starts: Dict[str, List[int]] = {}
+        # Shard -> peers still owing a ShardBackfill response.
+        self._pending_backfill: Dict[int, Set[str]] = {}
+        # Session-driven interest refcounts per shard.
+        self._shard_refs: Dict[int, int] = {}
+        # Read gathers blocked on backfill: (needed mask, fire).
+        self._deferred_gathers: List[Tuple[int, Callable[[], None]]] = []
 
         # -- sessions / pending work -----------------------------------------------
         self.sessions: Dict[str, _EdgeSession] = {}
@@ -247,7 +316,10 @@ class DataCenter(Actor):
                       "edge_commits": 0, "remote_txns": 0,
                       "rejected": 0, "repl_batches_out": 0,
                       "repl_batches_in": 0, "repl_acks_out": 0,
-                      "repl_acks_in": 0, "repl_dup_in": 0}
+                      "repl_acks_in": 0, "repl_dup_in": 0,
+                      "repl_pruned_txns": 0, "repl_pruned_bytes": 0,
+                      "repl_backfills_out": 0, "repl_backfills_in": 0,
+                      "repl_adverts_in": 0}
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -294,6 +366,12 @@ class DataCenter(Actor):
             self._on_replicate(message, sender)
         elif isinstance(message, ReplicateBatch):
             self._on_replicate_batch(message, sender)
+        elif isinstance(message, ReplicatePartialBatch):
+            self._on_replicate_partial(message, sender)
+        elif isinstance(message, InterestAdvert):
+            self._on_interest_advert(message, sender)
+        elif isinstance(message, ShardBackfill):
+            self._on_shard_backfill(message, sender)
         elif isinstance(message, ReplicateBatchAck):
             self._on_replicate_batch_ack(message, sender)
         elif isinstance(message, StabilityAck):
@@ -334,22 +412,31 @@ class DataCenter(Actor):
         self.sessions[msg.edge_id] = session
         for key in session.interest:
             self._sessions_by_key.setdefault(key, set()).add(msg.edge_id)
+        self._shard_refs_add(session.interest)
 
-        # Seed no older than what the edge already observed: after a
-        # migration the edge may be ahead of our *stable* vector (though
-        # within our state vector, as checked above).
-        seed_vector = self.stable_vector.merge(edge_vector)
         keys = list(session.interest.items())
         if not keys:
+            seed_vector = self.stable_vector.merge(edge_vector)
             self.send(sender, SessionAck(self.node_id, (),
                                          seed_vector.to_dict()))
             return
+        local_deps = msg.local_deps
 
-        def done(states: List[dict]) -> None:
-            self.send(sender, SessionAck(self.node_id, tuple(states),
-                                         seed_vector.to_dict()))
+        def fire() -> None:
+            # Seed no older than what the edge already observed: after a
+            # migration the edge may be ahead of our *stable* vector
+            # (though within our state vector, as checked above).  The
+            # cut is taken at fire time so a seed deferred on shard
+            # backfill covers the freshly backfilled entries too.
+            seed_vector = self.stable_vector.merge(edge_vector)
 
-        self._gather_reads(keys, seed_vector, msg.local_deps, done)
+            def done(states: List[dict]) -> None:
+                self.send(sender, SessionAck(self.node_id, tuple(states),
+                                             seed_vector.to_dict()))
+
+            self._gather_reads(keys, seed_vector, local_deps, done)
+
+        self._require_shards(self._keys_mask(k for k, _t in keys), fire)
 
     def close_session(self, edge_id: str) -> None:
         session = self.sessions.pop(edge_id, None)
@@ -363,41 +450,145 @@ class DataCenter(Actor):
                 ids.discard(session.edge_id)
                 if not ids:
                     del self._sessions_by_key[key]
+        self._shard_refs_drop(session.interest)
+
+    # -- session-driven shard interest (partial mode) -------------------
+    def _keys_mask(self, keys: Any) -> int:
+        if not self._partial:
+            return 0
+        shard_of = self.shard_map.shard_of
+        mask = 0
+        for key in keys:
+            mask |= 1 << shard_of(key)
+        return mask
+
+    def _shard_refs_add(self, keys: Any) -> None:
+        if not self._partial:
+            return
+        refs = self._shard_refs
+        for key in keys:
+            shard = self.shard_map.shard_of(key)
+            refs[shard] = refs.get(shard, 0) + 1
+
+    def _shard_refs_drop(self, keys: Any) -> None:
+        if not self._partial:
+            return
+        refs = self._shard_refs
+        released = set()
+        for key in keys:
+            shard = self.shard_map.shard_of(key)
+            left = refs.get(shard, 0) - 1
+            if left <= 0:
+                refs.pop(shard, None)
+                released.add(shard)
+            else:
+                refs[shard] = left
+        for shard in sorted(released):
+            self._maybe_unsubscribe(shard)
+
+    def _require_shards(self, needed_mask: int,
+                        fire: Callable[[], None]) -> None:
+        """Run ``fire`` once every shard in ``needed_mask`` is caught up.
+
+        Outside partial mode (or when all shards are already interested
+        and backfilled) this fires synchronously.  Otherwise the missing
+        shards are subscribed and the job waits for their backfill, so
+        reads never see a journal with pruned holes.
+        """
+        if not self._partial:
+            fire()
+            return
+        missing = needed_mask & ~self._interest_mask
+        if missing:
+            self._subscribe_shards(missing)
+        if needed_mask & self._pending_backfill_mask():
+            self._deferred_gathers.append((needed_mask, fire))
+        else:
+            fire()
+
+    def _pending_backfill_mask(self) -> int:
+        mask = 0
+        for shard in self._pending_backfill:
+            mask |= 1 << shard
+        return mask
+
+    def _gather_needed_mask(self) -> int:
+        mask = 0
+        for needed_mask, _fire in self._deferred_gathers:
+            mask |= needed_mask
+        return mask
+
+    def _run_ready_gathers(self) -> None:
+        if not self._deferred_gathers:
+            return
+        pending = self._pending_backfill_mask()
+        still_blocked = []
+        ready = []
+        fired_mask = 0
+        for needed_mask, fire in self._deferred_gathers:
+            if needed_mask & pending:
+                still_blocked.append((needed_mask, fire))
+            else:
+                ready.append(fire)
+                fired_mask |= needed_mask
+        self._deferred_gathers = still_blocked
+        for fire in ready:
+            fire()
+        # Shards kept subscribed only for these reads can be let go now
+        # that the reads have run against fully backfilled state.
+        for shard in shards_of_mask(fired_mask):
+            self._maybe_unsubscribe(shard)
 
     def _on_interest_change(self, msg: InterestChange, sender: str) -> None:
         session = self.sessions.get(msg.edge_id)
         if session is None:
             return
+        dropped = []
         for key_dict in msg.remove:
             key = ObjectKey.from_dict(key_dict)
             if session.interest.pop(key, None) is not None:
+                dropped.append(key)
                 ids = self._sessions_by_key.get(key)
                 if ids is not None:
                     ids.discard(msg.edge_id)
                     if not ids:
                         del self._sessions_by_key[key]
+        self._shard_refs_drop(dropped)
         added = [(ObjectKey.from_dict(k), t) for k, t in msg.add]
         for key, type_name in added:
             session.interest[key] = type_name
             self._sessions_by_key.setdefault(key, set()).add(msg.edge_id)
+        self._shard_refs_add(k for k, _t in added)
         if added:
-            seed_vector = self.stable_vector.merge(
-                VectorClock(msg.state_vector))
+            edge_vector = VectorClock(msg.state_vector)
 
-            def done(states: List[dict]) -> None:
-                self.send(sender, SessionAck(
-                    self.node_id, tuple(states), seed_vector.to_dict()))
-            self._gather_reads(added, seed_vector, (), done)
+            def fire() -> None:
+                seed_vector = self.stable_vector.merge(edge_vector)
+
+                def done(states: List[dict]) -> None:
+                    self.send(sender, SessionAck(
+                        self.node_id, tuple(states),
+                        seed_vector.to_dict()))
+                self._gather_reads(added, seed_vector, (), done)
+
+            self._require_shards(self._keys_mask(k for k, _t in added),
+                                 fire)
 
     def _on_object_request(self, msg: ObjectRequest, sender: str) -> None:
         key = ObjectKey.from_dict(msg.key)
-        seed_vector = self.stable_vector.merge(VectorClock(msg.state_vector))
+        client_vector = VectorClock(msg.state_vector)
 
-        def done(states: List[dict]) -> None:
-            self.send(sender, ObjectResponse(
-                dict(states[0]), seed_vector.to_dict()))
+        def fire() -> None:
+            seed_vector = self.stable_vector.merge(client_vector)
 
-        self._gather_reads([(key, msg.type_name)], seed_vector, (), done)
+            def done(states: List[dict]) -> None:
+                self.send(sender, ObjectResponse(
+                    dict(states[0]), seed_vector.to_dict()))
+
+            self._gather_reads([(key, msg.type_name)], seed_vector, (),
+                               done)
+
+        self._require_shards(self._keys_mask([key]), fire)
 
     # ------------------------------------------------------------------
     # shard read gathering
@@ -463,6 +654,10 @@ class DataCenter(Actor):
         ts = self._sequencer
         txn.commit.add_entry(self.node_id, ts)
         self._stream_dots.setdefault(self.node_id, {})[ts] = txn.dot
+        if self._partial:
+            mask = self.shard_map.mask_of_keys(txn.keys)
+            self._stream_masks[ts] = mask
+            self._entry_meta[txn.dot] = (mask, self.node_id)
         self.lamport.observe(txn.dot.counter)
         self.dots.observe(txn.dot)
         self._txn_by_dot[txn.dot] = txn
@@ -479,14 +674,17 @@ class DataCenter(Actor):
         # treats the commit stream itself as the send buffer: commits in
         # the same flush window ship together as ReplicateBatch frames.
         self.kstab.record(txn.dot, {self.node_id})
-        if self.replication_mode == "batched":
+        if self._batched:
             self._schedule_repl_flush()
         else:
             self._replicate_unbatched(txn)
-        if self.k_target <= 1:
+        if self.k_target <= 1 or (self._partial
+                                  and self.required_k(txn.dot) <= 1):
             # With K > 1 a fresh local commit has a single holder, so it
             # cannot move the stable cut (nor unblock releases waiting on
-            # our stream: those need this very dot stable first).
+            # our stream: those need this very dot stable first).  In
+            # partial mode a singly-interested entry is stable at birth
+            # even when the global K target is higher.
             self._advance_stability()
 
     def _replicate_unbatched(self, txn: Transaction) -> None:
@@ -543,8 +741,11 @@ class DataCenter(Actor):
                 pending.states[key] = state_from_dict(state["base"])
             self._execute_remote_txn(pending)
 
-        self._gather_reads(keys, snapshot.vector, tuple(msg.local_deps),
-                           done)
+        def fire() -> None:
+            self._gather_reads(keys, snapshot.vector,
+                               tuple(msg.local_deps), done)
+
+        self._require_shards(self._keys_mask(k for k, _t in keys), fire)
 
     def _execute_remote_txn(self, pending: _PendingRemoteTxn) -> None:
         msg = pending.request
@@ -643,7 +844,7 @@ class DataCenter(Actor):
         queue = self._repl_queues.setdefault(sender, _ReplQueue())
         queue.insert(txn.commit.entries.get(sender), txn)
         self._process_repl_queues(moved=sender)
-        if self.replication_mode == "batched":
+        if self._batched:
             # Coalesced stability: a cumulative vector ack replaces the
             # per-transaction gossip broadcast.
             self._send_batch_ack(sender)
@@ -688,6 +889,9 @@ class DataCenter(Actor):
         chain base does not depend on the receiving link, every entry
         is serialised exactly once and shared by all sibling links.
         """
+        if self._partial:
+            self._flush_link_partial(link, limit)
+            return
         if not self._stream_dots.get(self.node_id):
             return
         top = self._sequencer
@@ -719,6 +923,124 @@ class DataCenter(Actor):
             link.txns_sent += len(entries)
             link.bytes_sent += size
             self.stats["repl_batches_out"] += 1
+
+    def _flush_link_partial(self, link: ReplLink,
+                            limit: Optional[int] = None) -> None:
+        """Interest-pruned flush: full entries or skip runs per position.
+
+        Walks the same contiguous stream window as the batched flush,
+        but entries whose write-shard mask misses the peer's interest
+        are elided into mask-homogeneous ``(count, mask)`` skip runs.
+        Metadata-only entries (mask 0) always ship — they carry causal
+        structure every replica needs.  A window with no skips on an
+        unbroken chain degenerates to a plain :class:`ReplicateBatch`,
+        byte-identical to the batched pipeline, which is what makes the
+        all-interested configuration an equivalence baseline.
+        """
+        if not self._stream_dots.get(self.node_id):
+            return
+        top = self._sequencer
+        if limit is not None:
+            top = min(top, link.sent_ts + limit)
+        sender_vector = self.state_vector.to_dict()
+        peer_mask = self._peer_interest.get(link.peer, 0)
+        masks = self._stream_masks
+        while link.sent_ts < top:
+            lo = link.sent_ts + 1
+            hi = min(top, link.sent_ts + self.repl_batch_max)
+            base = self._link_chain_base(link)
+            elements: List[Any] = []
+            full_ts: List[int] = []
+            pruned = 0
+            pruned_bytes = 0
+            size = (HEADER_BYTES + len(self.node_id) + 8
+                    + 8 * len(base) + 8 * len(sender_vector))
+            chain_ts = link.chain_ts
+            run: Optional[List[int]] = None  # mutable [count, mask]
+            for ts in range(lo, hi + 1):
+                mask = masks.get(ts, 0)
+                if mask == 0 or mask & peer_mask:
+                    encoded, entry_size = self._encode_entry_partial(
+                        chain_ts, ts)
+                    elements.append(encoded)
+                    full_ts.append(ts)
+                    size += entry_size
+                    chain_ts = ts
+                    run = None
+                else:
+                    if run is not None and run[1] == mask:
+                        run[0] += 1
+                    else:
+                        run = [1, mask]
+                        elements.append(run)
+                        size += SKIP_MARKER_BYTES
+                    pruned += 1
+                    # What the entry would have cost on the canonical
+                    # chain — the honest measure of bytes saved.
+                    pruned_bytes += self._encode_entry(ts)[1]
+            if pruned == 0 and link.chain_ts == lo - 1:
+                # Nothing elided, chain unbroken: the frame is exactly
+                # what the batched pipeline would have shipped.
+                frame: Any = ReplicateBatch(
+                    self.node_id, lo, base.to_dict(),
+                    tuple(elements), sender_vector)
+            else:
+                frame = ReplicatePartialBatch(
+                    self.node_id, lo, base.to_dict(),
+                    tuple(tuple(e) if isinstance(e, list) else e
+                          for e in elements),
+                    sender_vector)
+            self.send(link.peer, frame, size_bytes=size)
+            if self.obs.enabled:
+                stream = self._stream_dots[self.node_id]
+                for ts in full_ts:
+                    self.obs.record(REPLICATION, stream[ts],
+                                    self.node_id, self.now,
+                                    phase="ship", peer=link.peer, ts=ts,
+                                    shards=masks.get(ts, 0))
+            link.sent_ts = hi
+            link.chain_ts = chain_ts
+            link.batches_sent += 1
+            link.txns_sent += len(full_ts)
+            link.bytes_sent += size
+            link.txns_pruned += pruned
+            link.pruned_bytes += pruned_bytes
+            self.stats["repl_batches_out"] += 1
+            self.stats["repl_pruned_txns"] += pruned
+            self.stats["repl_pruned_bytes"] += pruned_bytes
+
+    def _link_chain_base(self, link: ReplLink) -> VectorClock:
+        """Vector anchoring the link's delta chain (zero before entry 1)."""
+        if link.chain_ts <= 0:
+            return VectorClock.zero()
+        prev = self._txn_by_dot[
+            self._stream_dots[self.node_id][link.chain_ts]]
+        return prev.snapshot.vector
+
+    def _encode_entry_partial(self, prev_ts: int,
+                              ts: int) -> Tuple[dict, int]:
+        """Chain-encode entry ``ts`` against the last entry *shipped*.
+
+        Pruning makes the previous full entry link-dependent; the
+        unbroken case delegates to the canonical per-entry cache so
+        all-interested links share the batched pipeline's encodings
+        byte for byte, and broken-chain encodings are memoised by
+        ``(prev_ts, ts)`` so links with equal interest still share.
+        """
+        if prev_ts == ts - 1:
+            return self._encode_entry(ts)
+        key = (prev_ts, ts)
+        cached = self._partial_entry_cache.get(key)
+        if cached is None:
+            stream = self._stream_dots[self.node_id]
+            txn = self._txn_by_dot[stream[ts]]
+            if prev_ts <= 0:
+                base = VectorClock.zero()
+            else:
+                base = self._txn_by_dot[stream[prev_ts]].snapshot.vector
+            cached = self._partial_entry_cache[key] = encode_stream_entry(
+                txn, self.node_id, ts, base)
+        return cached
 
     def _chain_base(self, ts: int) -> VectorClock:
         """Snapshot vector of own stream entry ``ts - 1`` (zero at 1)."""
@@ -769,8 +1091,7 @@ class DataCenter(Actor):
             if (not len(queue)
                     and ts == self.state_vector[origin_dc] + 1
                     and not self.dots.seen(txn.dot)
-                    and txn.snapshot.satisfied_by(self.state_vector,
-                                                  self.dots)):
+                    and self._snapshot_ready(origin_dc, txn)):
                 self._apply_remote_txn(origin_dc, ts, txn)
                 applied = True
             else:
@@ -781,6 +1102,306 @@ class DataCenter(Actor):
             # with shard-apply flush and an _advance_stability pass.
             self._process_repl_queues(moved=None if applied else origin_dc)
         self._send_batch_ack(sender)
+
+    def _on_replicate_partial(self, msg: ReplicatePartialBatch,
+                              sender: str) -> None:
+        """Receive an interest-pruned frame: full entries and skip runs.
+
+        The flat stream cursor advances over both element kinds, so the
+        state vector keeps meaning "every position up to here is
+        *resolved*" — applied or deliberately pruned.  Skip runs whose
+        mask intersects our interest reveal a stale sender view; they
+        still advance the cursor (the stream must not stall) and the
+        missing shards are healed through the backfill protocol.
+        """
+        self.stats["repl_batches_in"] += 1
+        self._note_peer_applied(sender, VectorClock(msg.sender_vector))
+        base = VectorClock(msg.base_vector)
+        origin_dc = msg.origin_dc
+        queue = self._repl_queues.setdefault(origin_dc, _ReplQueue())
+        applied = False
+        ts = msg.start_ts
+        for element in msg.entries:
+            if isinstance(element, dict):
+                txn = decode_stream_entry(element, origin_dc, ts, base)
+                if self.dots.seen(txn.dot):
+                    self.stats["repl_dup_in"] += 1
+                base = txn.snapshot.vector
+                if (not len(queue)
+                        and ts == self.state_vector[origin_dc] + 1
+                        and not self.dots.seen(txn.dot)
+                        and self._snapshot_ready(origin_dc, txn)):
+                    self._apply_remote_txn(origin_dc, ts, txn)
+                    applied = True
+                else:
+                    queue.insert(ts, txn)
+                ts += 1
+            else:
+                count, mask = element
+                run = SkipRun(ts, count, mask)
+                if (not len(queue)
+                        and ts == self.state_vector[origin_dc] + 1):
+                    self._apply_skip_run(origin_dc, run)
+                    applied = True
+                else:
+                    queue.insert_run(run)
+                ts += count
+        if applied or len(queue):
+            self._process_repl_queues(
+                moved=None if applied else origin_dc)
+        self._send_batch_ack(sender)
+
+    def _apply_skip_run(self, origin_dc: str, run: SkipRun) -> None:
+        """Advance a stream frontier over positions the sender pruned.
+
+        Safe because this DC never serves or pushes entries it does not
+        hold: the flat frontier only asserts the stream is *resolved* up
+        to here, and per-shard reads gate on interest plus backfill
+        completion.  A mask that intersects our interest means the
+        sender pruned on a stale view — request a backfill of those
+        shards from the stream origin instead of losing data.
+        """
+        frontier = self.state_vector[origin_dc]
+        start = max(run.start_ts, frontier + 1)
+        if start > run.end_ts:
+            return  # fully stale resend
+        wrong = run.mask & self._interest_mask
+        if wrong:
+            shards = [s for s in shards_of_mask(wrong)
+                      if origin_dc not in self._pending_backfill.get(
+                          s, set())]
+            for shard in shards:
+                self._pending_backfill.setdefault(shard, set()).add(
+                    origin_dc)
+            if shards:
+                self.send(origin_dc, InterestAdvert(
+                    self._interest_mask, self._interest_seq,
+                    tuple(shards)))
+        self.state_vector = self.state_vector.advance(
+            origin_dc, run.end_ts)
+        # Materialise the stream dict even when every entry is pruned:
+        # the stability sweep iterates it to hop the stable frontier
+        # over skip-covered positions.
+        self._stream_dots.setdefault(origin_dc, {})
+        recorded = SkipRun(start, run.end_ts - start + 1, run.mask)
+        runs = self._skip_runs.setdefault(origin_dc, [])
+        starts = self._skip_starts.setdefault(origin_dc, [])
+        index = bisect.bisect_right(starts, recorded.start_ts)
+        runs.insert(index, recorded)
+        starts.insert(index, recorded.start_ts)
+
+    def _skip_covered(self, origin_dc: str, ts: int) -> Optional[SkipRun]:
+        """The applied skip run covering ``(origin, ts)``, if any."""
+        starts = self._skip_starts.get(origin_dc)
+        if not starts:
+            return None
+        index = bisect.bisect_right(starts, ts) - 1
+        if index < 0:
+            return None
+        run = self._skip_runs[origin_dc][index]
+        return run if run.covers(ts) else None
+
+    def _snapshot_ready(self, origin_dc: str, txn: Transaction) -> bool:
+        """Snapshot check, exempting deps pruned from ``origin_dc``.
+
+        Local deps of an edge transaction are sequenced earlier in the
+        *same* origin stream (session pipelines are FIFO, and migration
+        resubmits pending deps before dependents), so when the head sits
+        at ``frontier + 1`` every dep position below is resolved.  An
+        unseen dep on a stream that recorded skip runs was therefore
+        deliberately pruned — treating it as satisfied is what keeps a
+        partially-replicated stream from stalling on data it opted out
+        of.  Streams without skip runs (the all-interested baseline)
+        keep the strict check: there an unseen dep is merely late.
+        """
+        if not self._partial:
+            return txn.snapshot.satisfied_by(self.state_vector, self.dots)
+        if not txn.snapshot.vector.leq(self.state_vector):
+            return False
+        pruning = self._skip_runs.get(origin_dc)
+        for dep in txn.snapshot.local_deps:
+            if self.dots.seen(dep):
+                continue
+            if pruning:
+                continue
+            return False
+        return True
+
+    # -- interest adverts and shard backfill (partial mode) -------------
+    def _fold_peer_interest(self, peer: str, mask: int,
+                            seq: int) -> bool:
+        """Adopt a peer's advertised interest; False on a stale advert."""
+        if seq < self._peer_interest_seq.get(peer, 0):
+            return False
+        changed = self._peer_interest.get(peer) != mask
+        self._peer_interest[peer] = mask
+        self._peer_interest_seq[peer] = seq
+        return changed
+
+    def _on_interest_advert(self, msg: InterestAdvert,
+                            sender: str) -> None:
+        self.stats["repl_adverts_in"] += 1
+        if not self._partial:
+            return
+        changed = self._fold_peer_interest(sender, msg.shards_mask,
+                                           msg.seq)
+        for shard in msg.backfill:
+            self._send_backfill(sender, shard)
+        if changed:
+            # A shrunk peer interest can lower required_k thresholds.
+            self._advance_stability()
+
+    def _send_backfill(self, peer: str, shard: int) -> None:
+        """Answer a catch-up request from our own commit stream.
+
+        FIFO links make subscribe + backfill gap-free: ``upto`` is our
+        sequencer at response time, and every later entry ships as a
+        live frame that the peer's (already folded) interest keeps
+        un-pruned.  The holder credit is optimistic — the requester's
+        retry-on-ping loop re-requests a lost backfill, so the credit
+        converges with reality.
+        """
+        bit = 1 << shard
+        stream = self._stream_dots.get(self.node_id, {})
+        entries = []
+        size = HEADER_BYTES + 12
+        for ts in range(1, self._sequencer + 1):
+            if self._stream_masks.get(ts, 0) & bit:
+                txn = self._txn_by_dot[stream[ts]]
+                entries.append((ts, txn.to_dict()))
+                size += 8 + txn.byte_size()
+        self.send(peer, ShardBackfill(shard, tuple(entries),
+                                      self._sequencer),
+                  size_bytes=size)
+        self.stats["repl_backfills_out"] += 1
+        credited = False
+        for ts, _payload in entries:
+            dot = stream[ts]
+            if dot not in self._stable_dots:
+                self.kstab.record(dot, (peer,))
+                credited = True
+        if credited:
+            self._advance_stability()
+
+    def _on_shard_backfill(self, msg: ShardBackfill,
+                           sender: str) -> None:
+        self.stats["repl_backfills_in"] += 1
+        stream = self._stream_dots.setdefault(sender, {})
+        applied = False
+        for ts, payload in msg.entries:
+            txn = Transaction.from_dict(payload)
+            if self.dots.seen(txn.dot):
+                self.stats["repl_dup_in"] += 1
+                self._adopt_commit_entries(txn)
+                if ts not in stream:
+                    stream[ts] = txn.dot
+                    if ts <= self.stable_vector[sender]:
+                        self._stable_dots.add(txn.dot)
+                continue
+            self._apply_offstream_entry(sender, ts, txn)
+            applied = True
+        owers = self._pending_backfill.get(msg.shard)
+        if owers is not None:
+            owers.discard(sender)
+            if not owers:
+                del self._pending_backfill[msg.shard]
+        if applied:
+            self._flush_shard_applies()
+            self._advance_stability()
+        self._run_ready_gathers()
+
+    def _apply_offstream_entry(self, origin_dc: str, ts: int,
+                               txn: Transaction) -> None:
+        """Store a full entry at a position the flat cursor already
+        resolved (backfill, or a full resend racing a skip run).
+
+        Everything ``_apply_remote_txn`` does except advancing the
+        state vector — the position is covered, only the data was
+        missing.
+        """
+        self.stats["replicated_in"] += 1
+        if self.obs.enabled:
+            self.obs.record(REPLICATION, txn.dot, self.node_id,
+                            self.now, phase="apply", origin=origin_dc,
+                            ts=ts, backfill=True,
+                            shards=self.shard_map.mask_of_keys(txn.keys))
+        self.lamport.observe(txn.dot.counter)
+        self.dots.observe(txn.dot)
+        self._txn_by_dot[txn.dot] = txn
+        self._stream_dots.setdefault(origin_dc, {})[ts] = txn.dot
+        if ts <= self.stable_vector[origin_dc]:
+            # The stable frontier already hopped this position while it
+            # was skip-covered: the backfilled dot is part of the stable
+            # cut, and later entries naming it as a local dependency
+            # must see it as released.
+            self._stable_dots.add(txn.dot)
+        self._entry_meta[txn.dot] = (
+            self.shard_map.mask_of_keys(txn.keys), origin_dc)
+        self.kstab.record(txn.dot,
+                          self._known_holders(origin_dc, ts, txn.dot))
+        payload = txn.to_dict()
+        for shard in self.ring.partition(txn.keys):
+            self._shard_apply_buf.setdefault(shard, []).append(payload)
+
+    def _subscribe_shards(self, mask: int) -> None:
+        """Grow our interest set; request backfill from every peer.
+
+        Each peer answers from its *own* stream only — every origin is
+        the authoritative holder of its own log, so the union of
+        responses is a complete catch-up.
+        """
+        self._interest_mask |= mask
+        self._interest_seq += 1
+        shards = shards_of_mask(mask)
+        if not self.peer_dcs:
+            return
+        for shard in shards:
+            self._pending_backfill.setdefault(shard, set()).update(
+                self.peer_dcs)
+        advert = InterestAdvert(self._interest_mask,
+                                self._interest_seq, shards)
+        for peer in sorted(self.peer_dcs):
+            self.send(peer, advert)
+
+    def _maybe_unsubscribe(self, shard: int) -> None:
+        """Retract interest in a shard no session references any more.
+
+        Served (home) shards are permanent interest; already-held data
+        is kept either way — unsubscribing only stops *future* frames
+        from carrying the shard.
+        """
+        if not self._partial:
+            return
+        bit = 1 << shard
+        if not self._interest_mask & bit:
+            return
+        if self.shard_map.served(self.node_id) & bit:
+            return
+        if self._shard_refs.get(shard):
+            return
+        if self._gather_needed_mask() & bit:
+            # A deferred read still needs this shard's backfill: keep
+            # the subscription until it fires.  Dropping now would run
+            # the read against a store missing skip-pruned entries the
+            # stable vector already covers — an inconsistent seed that
+            # poisons the edge's per-key cut.
+            return
+        self._interest_mask &= ~bit
+        self._interest_seq += 1
+        self._pending_backfill.pop(shard, None)
+        advert = InterestAdvert(self._interest_mask, self._interest_seq)
+        for peer in sorted(self.peer_dcs):
+            self.send(peer, advert)
+        self._run_ready_gathers()
+
+    def _retry_backfills(self, peer: str) -> None:
+        """Re-request backfills a peer still owes (lost responses)."""
+        owed = tuple(sorted(
+            shard for shard, owers in self._pending_backfill.items()
+            if peer in owers))
+        if owed:
+            self.send(peer, InterestAdvert(self._interest_mask,
+                                           self._interest_seq, owed))
 
     def _send_batch_ack(self, peer: str) -> None:
         self.stats["repl_acks_out"] += 1
@@ -827,17 +1448,66 @@ class DataCenter(Actor):
                 dot = stream.get(ts)
                 # Holder sets only gate stability; once a dot is inside
                 # the stable cut, further holders are of no consequence.
+                # In partial mode a covered position only proves the
+                # peer *resolved* it — holder credit additionally needs
+                # the peer's interest to intersect the entry's shards.
                 if dot is not None and dot not in self._stable_dots:
+                    if self._partial and not self._peer_holds(peer, dot):
+                        continue
                     self.kstab.record(dot, (peer,))
         return True
 
-    def _known_holders(self, origin_dc: str, ts: int) -> Set[str]:
+    def _peer_holds(self, peer: str, dot: Dot) -> bool:
+        """Would the peer have stored (not skip-covered) this entry?"""
+        meta = self._entry_meta.get(dot)
+        if meta is None:
+            return True
+        mask, origin = meta
+        if mask == 0 or origin == peer:
+            return True
+        return bool(mask & self._peer_interest.get(peer, 0))
+
+    def _known_holders(self, origin_dc: str, ts: int,
+                       dot: Optional[Dot] = None) -> Set[str]:
         """Us plus every peer whose applied vector covers (origin, ts)."""
         holders = {self.node_id}
         for peer, vec in self._peer_applied.items():
             if vec[origin_dc] >= ts:
+                if (self._partial and dot is not None
+                        and not self._peer_holds(peer, dot)):
+                    continue
                 holders.add(peer)
         return holders
+
+    def required_k(self, dot: Dot) -> int:
+        """Interested-replica stability threshold for ``dot``.
+
+        Partial mode counts only replicas whose interest intersects the
+        entry's shard mask (metadata-only entries concern everyone),
+        always including the stream origin, clamped below by
+        ``k_floor`` so operators can demand extra durability copies
+        even for singly-interested shards.  Other modes use the global
+        ``k_target`` unchanged.
+        """
+        if not self._partial:
+            return self.k_target
+        meta = self._entry_meta.get(dot)
+        if meta is None:
+            return self.k_target
+        mask, origin = meta
+        n_dcs = 1 + len(self.peer_dcs)
+        if mask == 0:
+            interested = n_dcs
+        else:
+            interested = 0
+            if mask & self._interest_mask or origin == self.node_id:
+                interested += 1
+            for peer in self.peer_dcs:
+                if mask & self._peer_interest.get(peer, 0) \
+                        or peer == origin:
+                    interested += 1
+        return max(min(self.k_target, interested),
+                   min(self.k_floor, n_dcs))
 
     def _process_repl_queues(self, moved: Optional[str] = None) -> None:
         """Apply queued remote transactions whose dependencies are met.
@@ -875,15 +1545,34 @@ class DataCenter(Actor):
         """
         progress = False
         while len(queue):
-            txn = queue.head()
+            head = queue.head()
+            if isinstance(head, SkipRun):
+                frontier = self.state_vector[origin_dc]
+                if head.end_ts <= frontier:
+                    queue.popleft()  # fully stale resend
+                    progress = True
+                    continue
+                if head.start_ts > frontier + 1:
+                    break  # hole below the run: wait for the resend
+                queue.popleft()
+                self._apply_skip_run(origin_dc, head)
+                progress = True
+                continue
+            txn = head
             ts = txn.commit.entries.get(origin_dc)
             if ts is None:  # pragma: no cover - malformed stream
                 queue.popleft()
                 continue
             frontier = self.state_vector[origin_dc]
             if ts <= frontier:
-                # Stale resend of an entry we already cover.
-                self._adopt_commit_entries(txn)
+                if self._partial and not self.dots.seen(txn.dot):
+                    # The position was skip-covered and the full entry
+                    # arrived afterwards (our interest raced the
+                    # sender's view): late-fill the data off-stream.
+                    self._apply_offstream_entry(origin_dc, ts, txn)
+                else:
+                    # Stale resend of an entry we already cover.
+                    self._adopt_commit_entries(txn)
                 queue.popleft()
                 progress = True
                 continue
@@ -906,8 +1595,7 @@ class DataCenter(Actor):
                 queue.popleft()
                 progress = True
                 continue
-            if not txn.snapshot.satisfied_by(self.state_vector,
-                                             self.dots):
+            if not self._snapshot_ready(origin_dc, txn):
                 break  # blocked on a third DC's stream
             queue.popleft()
             self._apply_remote_txn(origin_dc, ts, txn)
@@ -930,6 +1618,11 @@ class DataCenter(Actor):
             own_ts = known.commit.entries.get(self.node_id)
             if own_ts is not None:
                 self._entry_cache.pop(own_ts, None)
+                if self._partial_entry_cache:
+                    self._partial_entry_cache = {
+                        key: value for key, value
+                        in self._partial_entry_cache.items()
+                        if key[1] != own_ts}
 
     def _apply_remote_txn(self, origin_dc: str, ts: int,
                           txn: Transaction) -> None:
@@ -938,13 +1631,23 @@ class DataCenter(Actor):
         # transaction), immune to anti-entropy resend inflation.
         self.stats["replicated_in"] += 1
         if self.obs.enabled:
-            self.obs.record(REPLICATION, txn.dot, self.node_id,
-                            self.now, phase="apply", origin=origin_dc,
-                            ts=ts)
+            if self._partial:
+                self.obs.record(REPLICATION, txn.dot, self.node_id,
+                                self.now, phase="apply",
+                                origin=origin_dc, ts=ts,
+                                shards=self.shard_map.mask_of_keys(
+                                    txn.keys))
+            else:
+                self.obs.record(REPLICATION, txn.dot, self.node_id,
+                                self.now, phase="apply",
+                                origin=origin_dc, ts=ts)
         self.lamport.observe(txn.dot.counter)
         self.dots.observe(txn.dot)
         self._txn_by_dot[txn.dot] = txn
         self._stream_dots.setdefault(origin_dc, {})[ts] = txn.dot
+        if self._partial:
+            self._entry_meta[txn.dot] = (
+                self.shard_map.mask_of_keys(txn.keys), origin_dc)
         # Advance only the stream we received on: other equivalent commit
         # entries (section 3.8) belong to streams that ship separately, and
         # merging them here would claim transactions we have not applied.
@@ -954,12 +1657,13 @@ class DataCenter(Actor):
         # Every peer whose applied vector already covers this coordinate
         # holds the transaction — that knowledge arrived coalesced on
         # batch acks rather than per-txn gossip.
-        self.kstab.record(txn.dot, self._known_holders(origin_dc, ts))
+        self.kstab.record(txn.dot,
+                          self._known_holders(origin_dc, ts, txn.dot))
         shards = self.ring.partition(txn.keys)
         if not shards:
             return  # metadata-only txn: nothing for the stores
         payload = txn.to_dict()
-        if self.replication_mode == "batched":
+        if self._batched:
             for shard in shards:
                 self._shard_apply_buf.setdefault(shard, []).append(payload)
         else:
@@ -987,8 +1691,16 @@ class DataCenter(Actor):
     def _sync_peers(self) -> None:
         if not self.peer_dcs:
             return
-        ping = DCSyncPing(self.state_vector.to_dict(),
-                          self.stable_vector.to_dict())
+        if self._partial:
+            # Piggyback our interest on the ping so lost adverts heal
+            # within one sync period.
+            ping = DCSyncPing(self.state_vector.to_dict(),
+                              self.stable_vector.to_dict(),
+                              interest_mask=self._interest_mask,
+                              interest_seq=self._interest_seq)
+        else:
+            ping = DCSyncPing(self.state_vector.to_dict(),
+                              self.stable_vector.to_dict())
         for dc in self.peer_dcs:
             self.send(dc, ping)
 
@@ -1008,19 +1720,26 @@ class DataCenter(Actor):
         The rewind now waits for evidence of loss: the peer advertising
         the *same* stalled frontier twice in a row.
         """
-        if self.replication_mode == "batched":
+        if self._batched:
             self._note_peer_applied(sender, VectorClock(msg.state_vector))
+            if self._partial:
+                if msg.interest_mask is not None:
+                    self._fold_peer_interest(sender, msg.interest_mask,
+                                             msg.interest_seq)
+                self._retry_backfills(sender)
             link = self._link(sender)
             peer_has = msg.state_vector.get(self.node_id, 0)
             if peer_has > link.sent_ts:
                 # The peer holds entries we never shipped on this link
                 # (received via a third DC after a migration): skip them.
                 link.sent_ts = peer_has
+                link.chain_ts = peer_has
             elif peer_has < link.sent_ts \
                     and peer_has <= link.last_advert:
                 # Stalled across a full sync period: the in-flight
                 # window has drained, so the gap is genuine loss.
                 link.sent_ts = peer_has
+                link.chain_ts = peer_has
                 link.rewinds += 1
             link.last_advert = peer_has
             self._flush_link(link, limit=self.SYNC_BATCH)
@@ -1094,7 +1813,25 @@ class DataCenter(Actor):
                 frontier = stable.get(origin_dc, 0)
                 while True:
                     dot = stream.get(frontier + 1)
-                    if dot is None or not self.kstab.is_stable(dot):
+                    if dot is None:
+                        # Partial mode: a position covered by a skip
+                        # run holds nothing to release — the stable
+                        # frontier hops over it.
+                        if (not self._partial
+                                or frontier + 1
+                                > self.state_vector[origin_dc]
+                                or self._skip_covered(
+                                    origin_dc, frontier + 1) is None):
+                            break
+                        frontier += 1
+                        stable[origin_dc] = frontier
+                        progress = True
+                        advanced = True
+                        continue
+                    if self._partial:
+                        if self.kstab.count(dot) < self.required_k(dot):
+                            break
+                    elif not self.kstab.is_stable(dot):
                         break
                     txn = self._txn_by_dot.get(dot)
                     if txn is None:  # pragma: no cover - defensive
@@ -1103,6 +1840,8 @@ class DataCenter(Actor):
                            in txn.snapshot.vector.items()):
                         break  # blocked on another stream's frontier
                     if not all(d in self._stable_dots
+                               or (self._partial
+                                   and not self.dots.seen(d))
                                for d in txn.snapshot.local_deps):
                         break
                     frontier += 1
@@ -1221,10 +1960,43 @@ class DataCenter(Actor):
             stream = self._stream_dots.get(origin, {})
             missing = [ts
                        for ts in range(1, self.state_vector[origin] + 1)
-                       if ts not in stream]
+                       if ts not in stream
+                       and not (self._partial
+                                and self._skip_covered(origin, ts))]
             if missing:
                 gaps[origin] = missing
         return gaps
+
+    def shard_stream_gaps(self) -> Dict[str, List[int]]:
+        """Skip-covered positions our interest set says we should hold.
+
+        A position elided by a skip run whose mask intersects our
+        current interest must eventually be filled by a backfill (or a
+        racing full resend); shards with a backfill still in flight are
+        excluded.  The chaos checker requires this empty — it is the
+        per-shard analogue of :meth:`stream_gaps`.
+        """
+        if not self._partial:
+            return {}
+        pending = self._pending_backfill_mask()
+        gaps: Dict[str, List[int]] = {}
+        for origin, runs in self._skip_runs.items():
+            stream = self._stream_dots.get(origin, {})
+            missing = []
+            for run in runs:
+                need = run.mask & self._interest_mask & ~pending
+                if not need:
+                    continue
+                for ts in range(run.start_ts, run.end_ts + 1):
+                    if ts not in stream:
+                        missing.append(ts)
+            if missing:
+                gaps[origin] = missing
+        return gaps
+
+    def interest_shards(self) -> Tuple[int, ...]:
+        """Sorted shard ids in this DC's current interest set."""
+        return shards_of_mask(self._interest_mask)
 
     def repl_link_counters(self) -> Dict[str, Dict[str, int]]:
         """Per-peer batch/byte counters of the outbound repl links."""

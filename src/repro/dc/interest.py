@@ -1,0 +1,122 @@
+"""Shard interest sets for partial geo-replication.
+
+Partial replication (Sutra & Shapiro; PaRiS) prunes the full mesh into
+an interest graph: every object key hashes into one of ``n_shards``
+global shards, each DC *serves* a deterministic subset of shards (the
+home assignment, round-robin by replica factor), and a DC's **interest
+set** is the union of the shards it serves and the shards its attached
+edge sessions subscribe to.  Replication links then ship only stream
+entries whose write set intersects the receiver's interest; everything
+else travels as a skip marker.
+
+Shard sets are represented as bitmasks (``n_shards <= 64``): interest
+tests on the replication hot path are single ``&`` operations, and skip
+runs on the wire carry the mask of the entries they elide so receivers
+can audit (and heal) wrongly pruned positions.
+
+The map is *shared configuration*: every DC of a cluster is built from
+the same ``ShardMap``, so peers can derive each other's served shards
+without a bootstrap exchange — only session-driven subscriptions need
+the interest-advert protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.txn import ObjectKey
+
+#: Bitmask representation caps the global shard count.
+MAX_SHARDS = 64
+
+
+def shard_of(key: ObjectKey, n_shards: int) -> int:
+    """Stable global shard of a key (md5, like the intra-DC ring)."""
+    digest = hashlib.md5(f"{key.bucket}/{key.key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def mask_of(shards: Iterable[int]) -> int:
+    """Bitmask of a shard collection."""
+    mask = 0
+    for shard in shards:
+        mask |= 1 << shard
+    return mask
+
+
+def shards_of_mask(mask: int) -> Tuple[int, ...]:
+    """Sorted shard ids set in a bitmask."""
+    shards = []
+    shard = 0
+    while mask:
+        if mask & 1:
+            shards.append(shard)
+        mask >>= 1
+        shard += 1
+    return tuple(shards)
+
+
+class ShardMap:
+    """Global shard space plus the deterministic home assignment.
+
+    ``dc_ids`` must list every DC of the cluster (sorted internally, so
+    any construction order yields the same assignment).  Shard ``s`` is
+    homed at ``replica_factor`` consecutive DCs starting at
+    ``s % len(dc_ids)`` — round-robin, so homes spread evenly and every
+    DC serves ``ceil(n_shards * rf / n_dcs)``-ish shards.
+    """
+
+    def __init__(self, n_shards: int, dc_ids: Iterable[str],
+                 replica_factor: Optional[int] = None):
+        if not 1 <= n_shards <= MAX_SHARDS:
+            raise ValueError(
+                f"n_shards must be in 1..{MAX_SHARDS}, got {n_shards}")
+        self.n_shards = n_shards
+        self.dc_ids: List[str] = sorted(dc_ids)
+        if not self.dc_ids:
+            raise ValueError("ShardMap needs at least one DC")
+        if replica_factor is None:
+            replica_factor = len(self.dc_ids)
+        if not 1 <= replica_factor <= len(self.dc_ids):
+            raise ValueError(
+                f"replica_factor must be in 1..{len(self.dc_ids)}, "
+                f"got {replica_factor}")
+        self.replica_factor = replica_factor
+        self._served: Dict[str, int] = {dc: 0 for dc in self.dc_ids}
+        for shard in range(n_shards):
+            for dc in self.homes(shard):
+                self._served[dc] |= 1 << shard
+
+    def shard_of(self, key: ObjectKey) -> int:
+        return shard_of(key, self.n_shards)
+
+    def mask_of_keys(self, keys: Iterable[ObjectKey]) -> int:
+        """Interest mask of a transaction's write set (0 if no writes)."""
+        mask = 0
+        for key in keys:
+            mask |= 1 << self.shard_of(key)
+        return mask
+
+    def homes(self, shard: int) -> Tuple[str, ...]:
+        """The DCs serving ``shard``, in assignment order."""
+        n = len(self.dc_ids)
+        return tuple(self.dc_ids[(shard + j) % n]
+                     for j in range(self.replica_factor))
+
+    def served(self, dc_id: str) -> int:
+        """Bitmask of the shards ``dc_id`` serves (0 for unknown DCs)."""
+        return self._served.get(dc_id, 0)
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.n_shards) - 1
+
+    def all_interested(self) -> bool:
+        """True when every DC serves every shard (the full baseline)."""
+        full = self.full_mask
+        return all(mask == full for mask in self._served.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardMap(n_shards={self.n_shards}, "
+                f"dcs={len(self.dc_ids)}, rf={self.replica_factor})")

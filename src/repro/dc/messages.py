@@ -268,14 +268,22 @@ class DCSyncPing:
     suffix, repairing replication after partitions.  A receiver that
     holds transactions past the sender's *stable* frontier re-acks
     them, repairing K-stability after lost StabilityAck gossip.
+
+    In partial mode the ping also carries the sender's interest mask
+    and advert sequence number, so a lost :class:`InterestAdvert` heals
+    within one sync period (``interest_mask is None`` outside partial
+    mode keeps the legacy wire size untouched).
     """
 
     state_vector: Dict[str, int]
     stable_vector: Dict[str, int] = field(default_factory=dict)
+    interest_mask: Optional[int] = None
+    interest_seq: int = 0
 
     def wire_size(self) -> int:
         return (HEADER_BYTES + vector_wire_size(self.state_vector)
-                + vector_wire_size(self.stable_vector))
+                + vector_wire_size(self.stable_vector)
+                + (16 if self.interest_mask is not None else 0))
 
 
 @dataclass(frozen=True, slots=True)
@@ -336,6 +344,91 @@ class ReplicateBatch:
                 + vector_wire_size(self.base_vector)
                 + vector_wire_size(self.sender_vector)
                 + sum(stream_entry_wire_size(e) for e in self.entries))
+
+
+#: Wire cost of one skip marker: a 4-byte run length + 8-byte mask.
+SKIP_MARKER_BYTES = 12
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicatePartialBatch:
+    """Interest-pruned log shipping: one origin stream, holes elided.
+
+    Same frame layout as :class:`ReplicateBatch`, but ``entries`` mixes
+    two element kinds: a dict is a full chain-encoded stream entry, and
+    a ``(count, shard_mask)`` pair is a *skip run* — ``count``
+    consecutive positions whose (identical) write-shard mask misses the
+    receiver's interest set, elided from the wire.  The flat stream
+    cursor advances over both, so the receiver's state vector keeps its
+    contiguity semantics: "applied **or deliberately pruned** every
+    position up to here".  The mask lets the receiver audit runs
+    against its own interest and request backfill for wrongly pruned
+    shards (a stale sender view heals instead of losing data).
+
+    Because only shipped entries carry snapshot vectors, the delta
+    chain runs across *full* entries only; ``base_vector`` is the
+    vector of the last entry shipped on this link before the frame.
+    """
+
+    origin_dc: str
+    start_ts: int
+    base_vector: Dict[str, int]
+    entries: Tuple[Any, ...]
+    sender_vector: Dict[str, int]
+
+    def wire_size(self) -> int:
+        size = (HEADER_BYTES + len(self.origin_dc) + 8
+                + vector_wire_size(self.base_vector)
+                + vector_wire_size(self.sender_vector))
+        for element in self.entries:
+            if isinstance(element, dict):
+                size += stream_entry_wire_size(element)
+            else:
+                size += SKIP_MARKER_BYTES
+        return size
+
+
+@dataclass(frozen=True, slots=True)
+class InterestAdvert:
+    """A DC's current shard interest set, broadcast on change.
+
+    ``shards_mask`` is the full interest bitmask (not a delta), guarded
+    by ``seq`` so reordered adverts cannot regress a peer's view.  The
+    ``backfill`` shards are the ones newly subscribed: each receiver
+    answers with a :class:`ShardBackfill` of its *own* stream's entries
+    for those shards — every origin is the authoritative holder of its
+    own log, so the union of responses is a complete catch-up.
+    """
+
+    shards_mask: int
+    seq: int
+    backfill: Tuple[int, ...] = ()
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + 16 + 4 * len(self.backfill)
+
+
+@dataclass(frozen=True, slots=True)
+class ShardBackfill:
+    """Catch-up for one shard: the sender's own-stream entries.
+
+    ``entries`` are ``(origin_ts, txn_dict)`` pairs — full (non-delta)
+    encodings, each carrying its explicit stream position because
+    backfill is sparse.  ``upto`` is the sender's sequencer at response
+    time: every own-stream entry of the shard at or below it is
+    included, and anything later ships fully on the live stream (the
+    interest update is processed before this response, and the link is
+    FIFO), so subscribe + backfill leaves no per-shard gap.  An empty
+    response still acknowledges the subscription.
+    """
+
+    shard: int
+    entries: Tuple[Tuple[int, dict], ...]
+    upto: int
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + 12
+                + sum(8 + txn_wire_size(t) for _ts, t in self.entries))
 
 
 @dataclass(frozen=True, slots=True)

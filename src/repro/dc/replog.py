@@ -85,6 +85,37 @@ def decode_stream_entry(entry: Dict[str, Any], stream_dc: str, ts: int,
     )
 
 
+class SkipRun:
+    """A run of stream positions pruned from a partial-replication link.
+
+    ``count`` consecutive positions starting at ``start_ts``, all of
+    whose entries touch exactly the shards in ``mask`` — runs break on
+    mask changes, so the mask describes *every* elided position and the
+    receiver can audit a run against its own interest exactly.  These
+    objects live in the receive queues (ordered with full entries by
+    ``start_ts``) and, once applied, in the per-origin skip ledger that
+    backs the per-shard contiguity invariant.
+    """
+
+    __slots__ = ("start_ts", "count", "mask")
+
+    def __init__(self, start_ts: int, count: int, mask: int):
+        self.start_ts = start_ts
+        self.count = count
+        self.mask = mask
+
+    @property
+    def end_ts(self) -> int:
+        return self.start_ts + self.count - 1
+
+    def covers(self, ts: int) -> bool:
+        return self.start_ts <= ts <= self.end_ts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SkipRun({self.start_ts}..{self.end_ts}"
+                f" mask={self.mask:#x})")
+
+
 class ReplLink:
     """Sender-side state of one directed replication link.
 
@@ -97,10 +128,17 @@ class ReplLink:
     rewinding past frames still in flight would resend (and at the
     receiver double-count) entries that were never lost.
     The counters feed the replication benchmarks.
+
+    Partial mode adds ``chain_ts`` — the position of the last *full*
+    entry shipped on this link, which anchors the per-link delta chain
+    (pruned entries never ship a vector, so the chain must hop over
+    them) — plus prune accounting: ``txns_pruned`` positions elided as
+    skip runs and ``pruned_bytes`` the wire bytes that would have cost.
     """
 
     __slots__ = ("peer", "sent_ts", "last_advert", "batches_sent",
-                 "txns_sent", "bytes_sent", "acks_in", "rewinds")
+                 "txns_sent", "bytes_sent", "acks_in", "rewinds",
+                 "chain_ts", "txns_pruned", "pruned_bytes")
 
     def __init__(self, peer: str):
         self.peer = peer
@@ -111,13 +149,18 @@ class ReplLink:
         self.bytes_sent = 0
         self.acks_in = 0
         self.rewinds = 0
+        self.chain_ts = 0
+        self.txns_pruned = 0
+        self.pruned_bytes = 0
 
     def counters(self) -> Dict[str, int]:
         return {"batches_sent": self.batches_sent,
                 "txns_sent": self.txns_sent,
                 "bytes_sent": self.bytes_sent,
                 "acks_in": self.acks_in,
-                "rewinds": self.rewinds}
+                "rewinds": self.rewinds,
+                "txns_pruned": self.txns_pruned,
+                "pruned_bytes": self.pruned_bytes}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ReplLink({self.peer} sent_ts={self.sent_ts}"

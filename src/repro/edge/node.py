@@ -141,6 +141,13 @@ class EdgeNode(Actor):
         self.cache = InterestCache(cache_capacity,
                                    on_evict=self._on_evict)
         self._interest_types: Dict[ObjectKey, str] = {}
+        # Keys the *current session's* DC has been told about, tracked
+        # separately from the local interest cache: a late SessionAck
+        # can re-warm a key locally after a retract, and a subsequent
+        # re-declare must still reach the DC or its interest set (and,
+        # under partial replication, its shard subscriptions) would
+        # diverge from ours for good.
+        self._session_interest: Set[ObjectKey] = set()
         # Keys whose base state was seeded (from a DC or a peer): only
         # these may be served from the cache; a declared-but-unseeded key
         # is a miss, not an empty object.
@@ -195,6 +202,7 @@ class EdgeNode(Actor):
             return
         interest = tuple((k.to_dict(), t)
                          for k, t in self._interest_types.items())
+        self._session_interest = set(self._interest_types)
         # Declare only dependencies the DC must already have: transactions
         # still carrying symbolic commits will be (re)shipped by us right
         # after the session opens, so they must not block compatibility.
@@ -228,10 +236,13 @@ class EdgeNode(Actor):
         self.cache.declare_interest(key, type_name)
 
     def declare_interest(self, key: ObjectKey, type_name: str) -> None:
-        if key in self._interest_types:
-            return
-        self._declare_interest_local(key, type_name)
-        if self.session_open:
+        if key not in self._interest_types:
+            self._declare_interest_local(key, type_name)
+        # Dedup against what the *session* knows, not the local cache: a
+        # stale SessionAck may have re-warmed the key locally after a
+        # retract, but the DC still saw the retract and dropped it.
+        if self.session_open and key not in self._session_interest:
+            self._session_interest.add(key)
             self.send(self.connected_dc, InterestChange(
                 self.node_id, add=((key.to_dict(), type_name),),
                 state_vector=self.vector.to_dict()))
@@ -240,6 +251,7 @@ class EdgeNode(Actor):
         self._interest_types.pop(key, None)
         self._warm.discard(key)
         self._key_cut.pop(key, None)
+        self._session_interest.discard(key)
         self.cache.retract_interest(key)
         if self.session_open:
             self.send(self.connected_dc, InterestChange(
@@ -253,6 +265,7 @@ class EdgeNode(Actor):
         self._interest_types.pop(key, None)
         self._warm.discard(key)
         self._key_cut.pop(key, None)
+        self._session_interest.discard(key)
         if self.session_open:
             self.send(self.connected_dc, InterestChange(
                 self.node_id, remove=(key.to_dict(),),
@@ -318,11 +331,28 @@ class EdgeNode(Actor):
         seeded: List[ObjectKey] = []
         seed_vector = VectorClock(msg.stable_vector)
         for state in msg.objects:
+            key = ObjectKey.from_dict(state["key"])
+            if key not in self._interest_types:
+                # The ack answers an interest add we have since
+                # retracted; installing it would re-warm the key and
+                # poison its seed cut without the DC pushing updates.
+                continue
             self._install_seed(state, seed_vector)
-            seeded.append(ObjectKey.from_dict(state["key"]))
+            seeded.append(key)
         self._advance_vector(msg.stable_vector)
         if not self.session_open:
             self.session_open = True
+            # Interest declared while the SessionOpen round-trip was in
+            # flight missed both the open and the live-session path.
+            missing = tuple((k.to_dict(), t)
+                            for k, t in self._interest_types.items()
+                            if k not in self._session_interest)
+            if missing:
+                self._session_interest.update(
+                    ObjectKey.from_dict(k) for k, _ in missing)
+                self.send(sender, InterestChange(
+                    self.node_id, add=missing,
+                    state_vector=self.vector.to_dict()))
             self._resend_pending(sender)
             if self.on_session_change is not None:
                 self.on_session_change(True)
@@ -355,9 +385,15 @@ class EdgeNode(Actor):
         key = journal.key
         if key not in self._interest_types:
             self._declare_interest_local(key, journal.type_name)
+        # Staleness is judged against the *key's* seed cut, not the node
+        # vector: the vector advances on no-audience stability pushes
+        # that carry no data for this key (e.g. while its interest was
+        # retracted), so vector coverage does not imply the journal
+        # holds the seeded state.  Entries appended since the last seed
+        # survive an install either way — they are replayed on top.
         if key in self._warm and seed_vector is not None \
-                and seed_vector.leq(self.vector.merge(
-                    self._key_cut.get(key, VectorClock.zero()))):
+                and seed_vector.leq(
+                    self._key_cut.get(key, VectorClock.zero())):
             return
         self._warm.add(key)
         if seed_vector is not None:

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Set
 from ..core.clock import VectorClock
 from ..core.dot import Dot
 from ..core.txn import ObjectKey
+from ..security.enforcement import ACL_OBJECT, RI_OBJECTS, RI_USERS
 from ..dc.messages import (CommitAck, CommitReject, EdgeCommit,
                            InterestChange, ObjectRequest, ObjectResponse,
                            SessionAck, SessionOpen, UpdatePush)
@@ -78,12 +79,17 @@ class PoPNode(EdgeNode):
                                          reason="causally-incompatible"))
             return
         interest = {ObjectKey.from_dict(k): t for k, t in msg.interest}
+        previous = self._children.get(msg.edge_id, {})
         self._children[msg.edge_id] = interest
         # Adopt the union interest upstream.
         missing = [(key, t) for key, t in interest.items()
                    if key not in self._interest_types]
         for key, type_name in missing:
             self.declare_interest(key, type_name)
+        # A reopened session may have shrunk its interest set.
+        for key in previous:
+            if key not in interest:
+                self._maybe_retract_upstream(key)
         # Seed the child from our cache for whatever is warm; the rest is
         # delivered as soon as our own upstream seed lands.
         objects = tuple(self._seed_state(key)
@@ -123,12 +129,35 @@ class PoPNode(EdgeNode):
         if self.session_open and not self.offline:
             self.send(self.connected_dc, msg)
 
+    def _maybe_retract_upstream(self, key: ObjectKey) -> None:
+        """Drop upstream interest in a key no child needs any more.
+
+        Our interest set is the union of our children's: once the last
+        child retracts a key (and nobody is waiting on a fetch or seed
+        for it), retracting upstream lets the DC prune the key's shard
+        from its replication streams in partial mode.  Keys the node
+        holds for its own protocol (the security objects) stay.
+        """
+        if any(key in interest for interest in self._children.values()):
+            return
+        if key in self._child_fetches or key in self._child_unseeded:
+            return
+        if self.security_enabled \
+                and key in (ACL_OBJECT, RI_OBJECTS, RI_USERS):
+            return
+        self.retract_interest(key)
+
     def _child_interest(self, msg: InterestChange, sender: str) -> None:
         table = self._children.get(msg.edge_id)
         if table is None:
             return
+        removed = []
         for key_dict in msg.remove:
-            table.pop(ObjectKey.from_dict(key_dict), None)
+            key = ObjectKey.from_dict(key_dict)
+            if table.pop(key, None) is not None:
+                removed.append(key)
+        for key in removed:
+            self._maybe_retract_upstream(key)
         added = []
         for key_dict, type_name in msg.add:
             key = ObjectKey.from_dict(key_dict)

@@ -1,0 +1,200 @@
+"""Unit tests for the shard-interest layer behind partial replication.
+
+Covers the pure primitives (``repro.dc.interest``), the skip-run /
+backfill wire encodings (``repro.dc.messages``), and the
+interested-replica K-stability rule on a live DC.
+"""
+
+import pytest
+
+from repro.core import Dot, ObjectKey
+from repro.dc import DataCenter
+from repro.dc.interest import (MAX_SHARDS, ShardMap, mask_of, shard_of,
+                               shards_of_mask)
+from repro.dc.messages import (SKIP_MARKER_BYTES, InterestAdvert,
+                               InterestChange, ReplicateBatch,
+                               ReplicatePartialBatch, ShardBackfill)
+from repro.dc.replog import SkipRun
+from repro.sim import LatencyModel, Simulation
+
+
+# ----------------------------------------------------------------------
+# shard hashing and mask helpers
+# ----------------------------------------------------------------------
+def test_shard_of_is_stable_and_in_range():
+    key = ObjectKey("docs", "doc1")
+    first = shard_of(key, 16)
+    assert first == shard_of(ObjectKey("docs", "doc1"), 16)
+    for i in range(64):
+        assert 0 <= shard_of(ObjectKey("docs", f"doc{i}"), 16) < 16
+
+
+def test_shard_of_spreads_keys():
+    shards = {shard_of(ObjectKey("docs", f"doc{i}"), 8)
+              for i in range(200)}
+    assert shards == set(range(8))
+
+
+def test_mask_round_trip():
+    shards = (0, 3, 17, 63)
+    mask = mask_of(shards)
+    assert shards_of_mask(mask) == shards
+    assert mask_of(()) == 0
+    assert shards_of_mask(0) == ()
+
+
+# ----------------------------------------------------------------------
+# ShardMap
+# ----------------------------------------------------------------------
+def test_shard_map_rejects_bad_config():
+    with pytest.raises(ValueError):
+        ShardMap(0, ["a"])
+    with pytest.raises(ValueError):
+        ShardMap(MAX_SHARDS + 1, ["a"])
+    with pytest.raises(ValueError):
+        ShardMap(4, [])
+    with pytest.raises(ValueError):
+        ShardMap(4, ["a", "b"], replica_factor=3)
+    with pytest.raises(ValueError):
+        ShardMap(4, ["a", "b"], replica_factor=0)
+
+
+def test_shard_map_homes_are_round_robin():
+    smap = ShardMap(6, ["dc0", "dc1", "dc2"], replica_factor=2)
+    assert smap.homes(0) == ("dc0", "dc1")
+    assert smap.homes(1) == ("dc1", "dc2")
+    assert smap.homes(2) == ("dc2", "dc0")
+    # Every shard is served by exactly replica_factor DCs.
+    for shard in range(6):
+        servers = [dc for dc in smap.dc_ids
+                   if smap.served(dc) & (1 << shard)]
+        assert len(servers) == 2
+        assert tuple(sorted(servers)) == tuple(sorted(smap.homes(shard)))
+
+
+def test_shard_map_is_construction_order_independent():
+    a = ShardMap(8, ["dc2", "dc0", "dc1"], replica_factor=2)
+    b = ShardMap(8, ["dc0", "dc1", "dc2"], replica_factor=2)
+    for dc in ("dc0", "dc1", "dc2"):
+        assert a.served(dc) == b.served(dc)
+
+
+def test_shard_map_default_is_all_interested():
+    smap = ShardMap(4, ["dc0", "dc1"])
+    assert smap.replica_factor == 2
+    assert smap.all_interested()
+    assert smap.served("dc0") == smap.full_mask == 0b1111
+    assert not ShardMap(4, ["dc0", "dc1"],
+                        replica_factor=1).all_interested()
+    assert smap.served("unknown") == 0
+
+
+def test_mask_of_keys_unions_write_set():
+    smap = ShardMap(8, ["dc0"])
+    keys = [ObjectKey("docs", f"doc{i}") for i in range(5)]
+    expected = 0
+    for key in keys:
+        expected |= 1 << smap.shard_of(key)
+    assert smap.mask_of_keys(keys) == expected
+    assert smap.mask_of_keys([]) == 0
+
+
+# ----------------------------------------------------------------------
+# skip runs and partial wire encodings
+# ----------------------------------------------------------------------
+def test_skip_run_covers_its_range():
+    run = SkipRun(5, 3, mask=0b10)
+    assert run.end_ts == 7
+    assert not run.covers(4)
+    assert all(run.covers(ts) for ts in (5, 6, 7))
+    assert not run.covers(8)
+
+
+def test_partial_batch_prices_skip_markers():
+    entry = {"dot": ("e", 1), "writes": (), "delta": {}}
+    full = ReplicateBatch(origin_dc="dc0", start_ts=1,
+                          base_vector={}, entries=(entry,),
+                          sender_vector={"dc0": 1})
+    pruned = ReplicatePartialBatch(origin_dc="dc0", start_ts=1,
+                                   base_vector={}, entries=((2, 0b1),),
+                                   sender_vector={"dc0": 1})
+    mixed = ReplicatePartialBatch(origin_dc="dc0", start_ts=1,
+                                  base_vector={},
+                                  entries=(entry, (2, 0b1)),
+                                  sender_vector={"dc0": 1})
+    # A skip run costs a flat marker, independent of the entries it
+    # elides; a full entry costs the same in both frame kinds.
+    assert mixed.wire_size() == full.wire_size() + SKIP_MARKER_BYTES
+    base = ReplicatePartialBatch(origin_dc="dc0", start_ts=1,
+                                 base_vector={}, entries=(),
+                                 sender_vector={"dc0": 1})
+    assert pruned.wire_size() - base.wire_size() == SKIP_MARKER_BYTES
+
+
+def test_interest_messages_have_wire_sizes():
+    advert = InterestAdvert(shards_mask=0b101, seq=3, backfill=(0, 2))
+    assert advert.wire_size() > InterestAdvert(0b101, 3).wire_size()
+    backfill = ShardBackfill(shard=2, entries=(), upto=7)
+    assert backfill.wire_size() > 0
+    change = InterestChange("edge1",
+                            add=(({"bucket": "b", "key": "k"}, "counter"),),
+                            state_vector={})
+    assert change.wire_size() > 0
+
+
+# ----------------------------------------------------------------------
+# interested-replica K-stability rule
+# ----------------------------------------------------------------------
+def _partial_dc(k_target=3, k_floor=1, rf=1):
+    sim = Simulation(seed=0, default_latency=LatencyModel(5.0))
+    dc_ids = ["dc0", "dc1", "dc2"]
+    smap = ShardMap(4, dc_ids, replica_factor=rf)
+    dc = sim.spawn(DataCenter, "dc0", peer_dcs=["dc1", "dc2"],
+                   n_shards=2, k_target=k_target, k_floor=k_floor,
+                   replication_mode="partial", shard_map=smap)
+    return dc
+
+
+def test_required_k_counts_only_interested_replicas():
+    dc = _partial_dc(k_target=3)
+    dot = Dot(1, "edge1")
+    # Shard 0 homed at dc0 only (rf=1): one interested replica.
+    dc._entry_meta[dot] = (0b1, "dc0")
+    assert dc.required_k(dot) == 1
+    # A peer subscribing to shard 0 raises the threshold.
+    dc._peer_interest["dc1"] = 0b1
+    assert dc.required_k(dot) == 2
+    dc._peer_interest["dc2"] = 0b1
+    assert dc.required_k(dot) == 3
+
+
+def test_required_k_always_counts_the_origin():
+    dc = _partial_dc(k_target=3)
+    dot = Dot(2, "edge1")
+    # Entry originated at dc1 touching a shard dc1 is not interested
+    # in: the origin still holds its own log entry.
+    dc._entry_meta[dot] = (0b1, "dc1")
+    assert dc.required_k(dot) == 2
+
+
+def test_required_k_floor_demands_extra_copies():
+    dc = _partial_dc(k_target=3, k_floor=2)
+    dot = Dot(3, "edge1")
+    dc._entry_meta[dot] = (0b1, "dc0")
+    # One interested replica, but the floor insists on two.
+    assert dc.required_k(dot) == 2
+    # The floor is clamped to the cluster size.
+    dc.k_floor = 99
+    assert dc.required_k(dot) == 3
+
+
+def test_required_k_metadata_entries_concern_everyone():
+    dc = _partial_dc(k_target=2)
+    dot = Dot(4, "edge1")
+    dc._entry_meta[dot] = (0, "dc0")
+    assert dc.required_k(dot) == 2
+
+
+def test_required_k_unknown_dot_falls_back_to_k_target():
+    dc = _partial_dc(k_target=3)
+    assert dc.required_k(Dot(99, "edgex")) == 3

@@ -247,4 +247,5 @@ class TestReplLink:
         link.acks_in += 2
         assert link.counters() == {"batches_sent": 2, "txns_sent": 9,
                                    "bytes_sent": 512, "acks_in": 2,
-                                   "rewinds": 0}
+                                   "rewinds": 0, "txns_pruned": 0,
+                                   "pruned_bytes": 0}
