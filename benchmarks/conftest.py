@@ -1,4 +1,4 @@
-"""Benchmark-suite configuration."""
+"""Benchmark-suite configuration and shared topology fixtures."""
 
 import pytest
 
@@ -12,3 +12,17 @@ def pytest_addoption(parser):
 @pytest.fixture
 def paper_scale(request):
     return request.config.getoption("--paper-scale")
+
+
+@pytest.fixture
+def group_bench():
+    """Builder for the shared DC-backed peer-group topology.
+
+    Every commit ablation drives the same world (one DC, an n-member
+    group, hot + per-member private keys, warmed and stats-cleared);
+    this fixture hands out the single builder so benchmark files never
+    re-assemble it inline.  Pass ``sites=[0, 0, 0, 1, 1]`` for the
+    geo-distributed variant.
+    """
+    from repro.bench import build_group_bench
+    return build_group_bench

@@ -7,9 +7,10 @@ from .metrics import (LatencySummary, TimelinePoint, bucket_timeline,
 from .scenarios import (CommitVariantRow, Fig4Point, KStabilityRow,
                         MetadataRow, TimelineResult,
                         ablation_commit_variant, ablation_kstability,
-                        ablation_metadata, fig4_curve, fig4_point,
-                        fig5_dc_disconnection, fig6_peer_disconnection,
-                        fig7_migration)
+                        ablation_metadata, commit_workload, fig4_curve,
+                        fig4_point, fig5_dc_disconnection,
+                        fig6_peer_disconnection, fig7_migration)
+from .topo import GroupBench, build_group_bench
 
 __all__ = [
     "Deployment", "DeploymentConfig", "MODES",
@@ -19,6 +20,7 @@ __all__ = [
     "TimelineResult", "fig5_dc_disconnection", "fig6_peer_disconnection",
     "fig7_migration",
     "KStabilityRow", "ablation_kstability",
-    "CommitVariantRow", "ablation_commit_variant",
+    "CommitVariantRow", "ablation_commit_variant", "commit_workload",
+    "GroupBench", "build_group_bench",
     "MetadataRow", "ablation_metadata",
 ]

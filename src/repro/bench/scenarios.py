@@ -352,61 +352,41 @@ class CommitVariantRow:
     mean_commit_latency_ms: float
     aborts: int
     commits: int
+    p50_commit_latency_ms: float = float("nan")
+    fast_commits: int = 0
+    fallbacks: int = 0
+    fast_path_ratio: float = 0.0
+    digest: str = ""
 
 
-def ablation_commit_variant(variant: str, n_members: int = 5,
-                            txns_per_member: int = 20,
-                            conflict_rate: float = 1.0,
-                            seed: int = 23) -> CommitVariantRow:
-    """Commit latency and aborts: consensus on vs off the critical path."""
-    from ..core.txn import ObjectKey
-    from ..dc.datacenter import DataCenter
-    from ..groups.peergroup import form_group
-    from ..sim.runtime import Simulation
+def commit_workload(bench, txns_per_member: int = 20,
+                    conflict_rate: float = 1.0,
+                    seed: int = 23) -> CommitVariantRow:
+    """Drive the standard commit workload over a built group bench.
 
-    sim = Simulation(seed=seed, default_latency=CELLULAR)
-    sim.spawn(DataCenter, "dc0", peer_dcs=[], n_shards=1, k_target=1)
-    members: List[GroupMember] = []
-    hot = ObjectKey("bench", "hot")
-    cold_keys = [ObjectKey("bench", f"cold{i}") for i in range(n_members)]
-    for i in range(n_members):
-        node = sim.spawn(GroupMember, f"m{i}", dc_id="dc0",
-                         group_id="g", parent_id="m0",
-                         commit_variant=variant)
-        node.declare_interest(hot, "counter")
-        for key in cold_keys:
-            node.declare_interest(key, "counter")
-        members.append(node)
-    for a in members:
-        for b in members:
-            if a.node_id < b.node_id:
-                sim.network.set_link(a.node_id, b.node_id, LAN)
-    form_group(members)
-    sim.run_for(1000.0)
-    # Warm every cache (one touch per key per member), then discard the
-    # warm-up statistics: the ablation measures steady-state commits.
-    for member in members:
-        for key in [hot] + cold_keys:
-            def warm_body(tx, k=key):
-                value = yield tx.read(k, "counter")
-                return value
-            member.run_transaction(warm_body)
-    sim.run_for(2000.0)
-    for member in members:
-        member.txn_stats.clear()
+    Each member commits ``txns_per_member`` counter updates, all members
+    firing in the same instant each round so conflicting transactions
+    are genuinely concurrent; ``conflict_rate`` picks the shared hot key
+    over the member's private key.  The row carries latency summaries,
+    the tiga fast-path counters (zero for the other variants), and the
+    converged state digest — equal digests across variants prove the
+    fast path changes *when* transactions commit, never *what* they
+    compute.
+    """
+    from .metrics import percentile
 
+    sim = bench.sim
+    members = bench.members
     rng = random.Random(seed)
     for member_index, member in enumerate(members):
         for txn_index in range(txns_per_member):
             if rng.random() < conflict_rate:
-                key = hot
+                key = bench.hot
             else:
-                key = ObjectKey("bench", f"cold{member_index}")
+                key = bench.cold_keys[member_index]
 
             def body(tx, k=key):
                 yield tx.update(k, "counter", "increment", 1)
-            # All members fire in the same instant each round, so
-            # conflicting transactions are genuinely concurrent.
             sim.loop.schedule(
                 txn_index * 50.0,
                 (lambda m=member, b=body: m.run_transaction(b)))
@@ -416,9 +396,42 @@ def ablation_commit_variant(variant: str, n_members: int = 5,
              if not s.read_only]
     commits = [s for s in stats if not s.aborted]
     aborts = [s for s in stats if s.aborted]
-    mean = (sum(s.latency for s in commits) / len(commits)
-            if commits else float("nan"))
-    return CommitVariantRow(variant, mean, len(aborts), len(commits))
+    latencies = sorted(s.latency for s in commits)
+    mean = (sum(latencies) / len(latencies)
+            if latencies else float("nan"))
+    tiga = {"fast_commits": 0, "fallbacks": 0}
+    for member in members:
+        for field, count in member.tiga_stats.items():
+            if field in tiga:
+                tiga[field] += count
+    keys = [bench.hot] + list(bench.cold_keys)
+    digests = [[(repr(k), state.get(k) or 0) for k in keys]
+               for state in
+               [m.state_digest() for m in members]
+               + [bench.dc.state_digest()]]
+    digest = repr(digests[0]) if all(d == digests[0] for d in digests) \
+        else "DIVERGED"
+    variant = members[0].commit_variant
+    return CommitVariantRow(
+        variant, mean, len(aborts), len(commits),
+        p50_commit_latency_ms=percentile(latencies, 50.0),
+        fast_commits=tiga["fast_commits"],
+        fallbacks=tiga["fallbacks"],
+        fast_path_ratio=(tiga["fast_commits"] / len(commits)
+                         if variant == "tiga" and commits else 0.0),
+        digest=digest)
+
+
+def ablation_commit_variant(variant: str, n_members: int = 5,
+                            txns_per_member: int = 20,
+                            conflict_rate: float = 1.0,
+                            seed: int = 23) -> CommitVariantRow:
+    """Commit latency and aborts: consensus on vs off the critical path."""
+    from .topo import build_group_bench
+
+    bench = build_group_bench(variant, n_members=n_members, seed=seed)
+    return commit_workload(bench, txns_per_member=txns_per_member,
+                           conflict_rate=conflict_rate, seed=seed)
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ import os
 import sys
 from typing import List
 
+from ..groups.peergroup import COMMIT_VARIANTS
 from .runner import (TOPOLOGIES, ScenarioConfig, run_scenario, run_suite,
                      self_check, write_report)
 from .schedule import FaultEvent
@@ -44,6 +45,14 @@ def _parse_args(argv: List[str]) -> argparse.Namespace:
                         choices=("batched", "partial"),
                         help="DC geo-replication mode under test "
                              "(default batched)")
+    parser.add_argument("--commit-variant", default="async",
+                        choices=COMMIT_VARIANTS,
+                        help="group commit variant under test "
+                             "(default async)")
+    parser.add_argument("--fault", action="append", default=None,
+                        choices=("clock-skew",), metavar="KIND",
+                        help="enable an opt-in fault family "
+                             "(currently: clock-skew)")
     parser.add_argument("--report", default=None, metavar="PATH",
                         help="write the JSON report here")
     parser.add_argument("--no-shrink", action="store_true",
@@ -89,7 +98,9 @@ def _traced_scenario(args: argparse.Namespace) -> int:
     config = ScenarioConfig(topology=args.topology, seed=args.seed,
                             n_txns=args.txns, window_ms=args.window,
                             max_faults=args.max_faults,
-                            replication_mode=args.replication_mode)
+                            replication_mode=args.replication_mode,
+                            commit_variant=args.commit_variant,
+                            clock_skew=_clock_skew(args))
     recorder = TraceRecorder()
     result = run_scenario(config, recorder=recorder)
     with open(args.trace, "w") as handle:
@@ -103,12 +114,18 @@ def _traced_scenario(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _clock_skew(args: argparse.Namespace) -> bool:
+    return bool(args.fault and "clock-skew" in args.fault)
+
+
 def _replay(args: argparse.Namespace) -> int:
     with open(args.replay) as handle:
         saved = json.load(handle)
-    config = ScenarioConfig(topology=saved["topology"],
-                            seed=saved["seed"], n_txns=args.txns,
-                            window_ms=args.window)
+    config = ScenarioConfig(
+        topology=saved["topology"], seed=saved["seed"],
+        n_txns=args.txns, window_ms=args.window,
+        commit_variant=saved.get("commit_variant", "async"),
+        clock_skew=saved.get("clock_skew", False))
     schedule = [FaultEvent.from_dict(e) for e in saved["schedule"]]
     result = run_scenario(config, schedule=schedule)
     print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -144,7 +161,9 @@ def main(argv: List[str] = None) -> int:
         seeds, topologies,
         config_kwargs={"n_txns": args.txns, "window_ms": args.window,
                        "max_faults": args.max_faults,
-                       "replication_mode": args.replication_mode},
+                       "replication_mode": args.replication_mode,
+                       "commit_variant": args.commit_variant,
+                       "clock_skew": _clock_skew(args)},
         shrink=not args.no_shrink, log=print)
     totals = report["totals"]
     print(f"chaos: {totals['passed']}/{totals['scenarios']} scenarios "

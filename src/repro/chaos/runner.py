@@ -29,7 +29,7 @@ from ..dc.datacenter import DataCenter
 from ..dc.interest import ShardMap
 from ..edge.node import EdgeNode
 from ..edge.pop import PoPNode
-from ..groups.peergroup import GroupMember, form_group
+from ..groups.peergroup import COMMIT_VARIANTS, GroupMember, form_group
 from ..sim.network import CELLULAR, ETHERNET, LAN, LatencyModel
 from ..sim.runtime import Simulation
 from .invariants import InvariantChecker, InvariantViolation
@@ -48,9 +48,13 @@ class ScenarioConfig:
                  settle_step_ms: float = 500.0,
                  settle_max_ms: float = 40000.0,
                  fifo_mode: str = "seq",
-                 replication_mode: str = "batched"):
+                 replication_mode: str = "batched",
+                 commit_variant: str = "async",
+                 clock_skew: bool = False):
         if topology not in TOPOLOGIES:
             raise ValueError(f"unknown topology {topology!r}")
+        if commit_variant not in COMMIT_VARIANTS:
+            raise ValueError(f"unknown commit variant {commit_variant!r}")
         self.topology = topology
         self.seed = seed
         self.n_txns = n_txns
@@ -68,6 +72,11 @@ class ScenarioConfig:
         # invariants) in its all-interested configuration, which must
         # behave exactly like "batched".
         self.replication_mode = replication_mode
+        # Group commit variant under test ("async", "psi" or "tiga").
+        self.commit_variant = commit_variant
+        # Opt-in clock-skew faults: static per-member clock offsets at
+        # build time plus scheduled step/drift events on group members.
+        self.clock_skew = clock_skew
 
 
 class World:
@@ -135,7 +144,9 @@ def _declare(node: EdgeNode,
 def build_world(topology: str, seed: int,
                 edge_cls: type = EdgeNode,
                 fifo_mode: str = "seq",
-                replication_mode: str = "batched") -> World:
+                replication_mode: str = "batched",
+                commit_variant: str = "async",
+                clock_skew: bool = False) -> World:
     """Build one of the standard topologies, warmed up and converged.
 
     ``edge_cls`` swaps the implementation of the solo far edge — the
@@ -151,7 +162,8 @@ def build_world(topology: str, seed: int,
     _declare(far, KEYS)
 
     if topology == "group":
-        members = _spawn_group(sim, connect_via="dc0")
+        members = _spawn_group(sim, connect_via="dc0",
+                               commit_variant=commit_variant)
         sim.network.set_link("m0", "dc0", ETHERNET)
         far.connect()
         sim.run_for(300)
@@ -167,7 +179,8 @@ def build_world(topology: str, seed: int,
             offline_nodes=["m0", "far"],
             churn_nodes=["m1", "m2"],
             migrations={"far": ["dc0"], "m0": ["dc1"]},
-            dcs=["dc0", "dc1"])
+            dcs=["dc0", "dc1"],
+            skew_nodes=["m0", "m1", "m2"] if clock_skew else [])
     elif topology == "pop":
         pop = sim.spawn(PoPNode, "pop0", dc_id="dc0")
         sim.network.set_link("pop0", "dc0", ETHERNET)
@@ -197,7 +210,8 @@ def build_world(topology: str, seed: int,
     else:  # tree — the full Figure 1 composition
         pop = sim.spawn(PoPNode, "pop0", dc_id="dc0")
         sim.network.set_link("pop0", "dc0", ETHERNET)
-        members = _spawn_group(sim, connect_via="pop0")
+        members = _spawn_group(sim, connect_via="pop0",
+                               commit_variant=commit_variant)
         sim.network.set_link("m0", "pop0", ETHERNET)
         pop.connect()
         far.connect()
@@ -216,7 +230,17 @@ def build_world(topology: str, seed: int,
             churn_nodes=["m1", "m2"],
             migrations={"far": ["dc0"], "m0": ["dc0"],
                         "pop0": ["dc1"]},
-            dcs=["dc0", "dc1"])
+            dcs=["dc0", "dc1"],
+            skew_nodes=["m0", "m1", "m2"] if clock_skew else [])
+
+    # Static per-member clock error (NTP sync is never perfect at the
+    # edge): each skewed node starts up to 25ms off true time.  Drawn
+    # from its own RNG stream so schedules stay stable across modes.
+    if spec.skew_nodes:
+        skew_rng = random.Random(f"chaos-skew/{seed}")
+        for node_id in sorted(spec.skew_nodes):
+            sim.network.clocks.set_offset(node_id,
+                                          skew_rng.uniform(-25.0, 25.0))
 
     # Let the initial seeds and session handshakes fully settle.
     sim.run_for(400)
@@ -224,11 +248,13 @@ def build_world(topology: str, seed: int,
                  k_target)
 
 
-def _spawn_group(sim: Simulation, connect_via: str) -> List[GroupMember]:
+def _spawn_group(sim: Simulation, connect_via: str,
+                 commit_variant: str = "async") -> List[GroupMember]:
     members = []
     for i in range(3):
         node = sim.spawn(GroupMember, f"m{i}", dc_id=connect_via,
-                         group_id="g", parent_id="m0")
+                         group_id="g", parent_id="m0",
+                         commit_variant=commit_variant)
         _declare(node, KEYS)
         members.append(node)
     for a in members:
@@ -386,6 +412,8 @@ class ScenarioResult:
             "topology": self.config.topology,
             "seed": self.config.seed,
             "replication_mode": self.config.replication_mode,
+            "commit_variant": self.config.commit_variant,
+            "clock_skew": self.config.clock_skew,
             "ok": self.ok,
             "violations": [v.to_dict() for v in self.violations],
             "converged": self.converged,
@@ -419,7 +447,9 @@ def run_scenario(config: ScenarioConfig,
     """
     world = build_world(config.topology, config.seed, edge_cls=edge_cls,
                         fifo_mode=config.fifo_mode,
-                        replication_mode=config.replication_mode)
+                        replication_mode=config.replication_mode,
+                        commit_variant=config.commit_variant,
+                        clock_skew=config.clock_skew)
     sim = world.sim
     if recorder is not None:
         sim.network.obs = recorder

@@ -21,6 +21,11 @@ Fault vocabulary (each maps to existing simulator/protocol levers):
                 rejoins (section 5 churn / Figure 6 scenario)
 ``dc_isolate``  cut a DC from every peer DC (geo-partition); its own
                 shards and edges stay attached
+``clock_skew``  a node's physical clock jumps by ``offset_ms`` and runs
+                at a rate error of ``rate`` for the window (NTP step +
+                bounded drift).  The drift reverts when the window ends;
+                the step persists — a clock error is not healed by time
+                passing, and the deadline fast path must tolerate it
 
 Intra-DC links (DC <-> shard) are deliberately *never* faulted: shard
 application inside a DC is synchronous-reliable in the model (a real
@@ -34,21 +39,26 @@ import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 FAULT_KINDS = ("partition", "loss", "blackout", "offline", "migrate",
-               "churn", "dc_isolate")
+               "churn", "dc_isolate", "clock_skew")
 
 
 class FaultEvent:
     """One scheduled fault: apply at ``time``, revert ``duration`` later.
 
     ``targets`` names the link endpoints (partition/loss), the node
-    (blackout/offline/churn), the node and destination DC (migrate), or
-    the DC (dc_isolate).  ``duration`` of 0 means instantaneous (migrate).
+    (blackout/offline/churn/clock_skew), the node and destination DC
+    (migrate), or the DC (dc_isolate).  ``duration`` of 0 means
+    instantaneous (migrate).  ``rate`` is the loss probability (loss) or
+    the clock rate error (clock_skew); ``offset_ms`` is the clock step
+    jump (clock_skew only).
     """
 
-    __slots__ = ("time", "kind", "targets", "rate", "duration")
+    __slots__ = ("time", "kind", "targets", "rate", "duration",
+                 "offset_ms")
 
     def __init__(self, time: float, kind: str, targets: Tuple[str, ...],
-                 rate: float = 0.0, duration: float = 0.0):
+                 rate: float = 0.0, duration: float = 0.0,
+                 offset_ms: float = 0.0):
         if kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {kind!r}")
         self.time = time
@@ -56,20 +66,24 @@ class FaultEvent:
         self.targets = tuple(targets)
         self.rate = rate
         self.duration = duration
+        self.offset_ms = offset_ms
 
     def to_dict(self) -> Dict[str, Any]:
         return {"time": self.time, "kind": self.kind,
                 "targets": list(self.targets), "rate": self.rate,
-                "duration": self.duration}
+                "duration": self.duration, "offset_ms": self.offset_ms}
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
         return cls(data["time"], data["kind"], tuple(data["targets"]),
-                   data.get("rate", 0.0), data.get("duration", 0.0))
+                   data.get("rate", 0.0), data.get("duration", 0.0),
+                   data.get("offset_ms", 0.0))
 
     def __repr__(self) -> str:
         window = f"+{self.duration:.0f}ms" if self.duration else "now"
         extra = f", rate={self.rate:.2f}" if self.kind == "loss" else ""
+        if self.kind == "clock_skew":
+            extra = f", step={self.offset_ms:+.0f}ms, drift={self.rate:+.3f}"
         return (f"FaultEvent(t={self.time:.0f}, {self.kind} "
                 f"{'/'.join(self.targets)}{extra}, {window})")
 
@@ -91,7 +105,8 @@ class FaultSpec:
                  offline_nodes: Sequence[str] = (),
                  churn_nodes: Sequence[str] = (),
                  migrations: Optional[Dict[str, Sequence[str]]] = None,
-                 dcs: Sequence[str] = ()):
+                 dcs: Sequence[str] = (),
+                 skew_nodes: Sequence[str] = ()):
         self.wan_links = list(wan_links)
         self.access_links = list(access_links)
         self.group_links = list(group_links)
@@ -101,6 +116,7 @@ class FaultSpec:
         self.migrations = {k: list(v)
                            for k, v in (migrations or {}).items()}
         self.dcs = list(dcs)
+        self.skew_nodes = list(skew_nodes)
 
     @property
     def faultable_links(self) -> List[Tuple[str, str]]:
@@ -125,6 +141,8 @@ def generate_schedule(seed: int, spec: FaultSpec, *,
         kinds.append("churn")
     if len(spec.dcs) > 1:
         kinds.append("dc_isolate")
+    if spec.skew_nodes:
+        kinds.append("clock_skew")
     if not kinds:
         return []
     events: List[FaultEvent] = []
@@ -156,6 +174,13 @@ def generate_schedule(seed: int, spec: FaultSpec, *,
             node = rng.choice(spec.churn_nodes)
             events.append(FaultEvent(at, kind, (node,),
                                      duration=rng.uniform(300.0, 2000.0)))
+        elif kind == "clock_skew":
+            node = rng.choice(spec.skew_nodes)
+            events.append(FaultEvent(
+                at, kind, (node,),
+                rate=rng.uniform(-0.05, 0.05),
+                duration=rng.uniform(500.0, 3000.0),
+                offset_ms=rng.uniform(-40.0, 40.0)))
         else:  # dc_isolate
             dc = rng.choice(spec.dcs)
             events.append(FaultEvent(at, kind, (dc,),
@@ -223,6 +248,10 @@ class FaultInjector:
             self.actors[node].migrate_to(dest)
         elif event.kind == "churn":
             self.actors[event.targets[0]].disconnect_from_group()
+        elif event.kind == "clock_skew":
+            clock = self.network.clocks.clock_for(event.targets[0])
+            clock.step(event.offset_ms)
+            clock.set_drift(clock.drift + event.rate)
         else:  # dc_isolate
             dc = event.targets[0]
             for peer in self.peer_dcs.get(dc, ()):
@@ -255,6 +284,11 @@ class FaultInjector:
         elif event.kind == "churn":
             if not remaining:
                 self.actors[event.targets[0]].reconnect_to_group()
+        elif event.kind == "clock_skew":
+            # The drift reverts to whatever overlapping windows remain;
+            # the step jump persists (see the module docstring).
+            clock = self.network.clocks.clock_for(event.targets[0])
+            clock.set_drift(sum(e.rate for e in remaining))
         elif event.kind == "dc_isolate":
             if not remaining:
                 dc = event.targets[0]

@@ -10,8 +10,11 @@ from .graph import execution_order, tarjan_sccs
 from .instance import (ACCEPTED, COMMITTED, EXECUTED, NONE, PREACCEPTED,
                        Instance)
 from .messages import (Accept, AcceptReply, Ballot, Commit, InstanceId,
-                       PreAccept, PreAcceptReply, Prepare, PrepareReply)
+                       PreAccept, PreAcceptReply, Prepare, PrepareReply,
+                       TigaAck, TigaCommit, TigaMessage, TigaPropose,
+                       TigaStatus, TigaWithdraw)
 from .replica import NOOP, EPaxosReplica
+from .tiga import TigaSequencer
 
 __all__ = [
     "EPaxosReplica", "NOOP",
@@ -19,4 +22,6 @@ __all__ = [
     "Instance", "NONE", "PREACCEPTED", "ACCEPTED", "COMMITTED", "EXECUTED",
     "PreAccept", "PreAcceptReply", "Accept", "AcceptReply", "Commit",
     "Prepare", "PrepareReply", "InstanceId", "Ballot",
+    "TigaSequencer", "TigaMessage", "TigaPropose", "TigaAck",
+    "TigaCommit", "TigaWithdraw", "TigaStatus",
 ]

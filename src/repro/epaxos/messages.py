@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional, Tuple
 
-from ..dc.messages import HEADER_BYTES, txn_wire_size
+from ..dc.messages import DOT_BYTES, HEADER_BYTES, txn_wire_size
+from ..sim.clock import hlc_wire_size
+
+# HLC timestamp (``repro.sim.clock.HlcTimestamp``): (ms, counter, node).
+HlcTimestamp = Tuple[float, int, str]
 
 # Instance identifier: (replica id, slot number).
 InstanceId = Tuple[str, int]
@@ -159,3 +163,76 @@ class PrepareReply:
 
 EPaxosMessage = (PreAccept, PreAcceptReply, Accept, AcceptReply, Commit,
                  Prepare, PrepareReply)
+
+
+# ----------------------------------------------------------------------
+# Tiga fast path (``commit_variant="tiga"``): deadline-ordered commit in
+# one round trip, falling back to the EPaxos instances above.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class TigaPropose:
+    """Coordinator → members: speculative execution at ``deadline``."""
+
+    dot: dict                   # serialised Dot (identifies the round)
+    deadline: HlcTimestamp
+    command: Any                # serialised transaction
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + DOT_BYTES + hlc_wire_size(self.deadline)
+                + _command_wire_size(self.command))
+
+
+@dataclass(frozen=True, slots=True)
+class TigaAck:
+    """Member → coordinator: one-bit verdict plus the local clock
+    reading, which the coordinator folds into its deadline lead."""
+
+    dot: dict
+    deadline: HlcTimestamp
+    ok: bool
+    local_ms: float
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + DOT_BYTES + hlc_wire_size(self.deadline)
+                + 1 + 8)
+
+
+@dataclass(frozen=True, slots=True)
+class TigaCommit:
+    """Coordinator → members: fast quorum reached, release at the
+    deadline.  Carries the full command so a member that lost the
+    propose can still install the transaction."""
+
+    dot: dict
+    deadline: HlcTimestamp
+    command: Any
+
+    def wire_size(self) -> int:
+        return (HEADER_BYTES + DOT_BYTES + hlc_wire_size(self.deadline)
+                + _command_wire_size(self.command))
+
+
+@dataclass(frozen=True, slots=True)
+class TigaWithdraw:
+    """Coordinator → members: round abandoned, EPaxos will carry it."""
+
+    dot: dict
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DOT_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class TigaStatus:
+    """Member → coordinator: pending entry past its deadline; the
+    coordinator answers with TigaCommit or TigaWithdraw."""
+
+    dot: dict
+    requester: str
+
+    def wire_size(self) -> int:
+        return HEADER_BYTES + DOT_BYTES + len(self.requester)
+
+
+TigaMessage = (TigaPropose, TigaAck, TigaCommit, TigaWithdraw, TigaStatus)

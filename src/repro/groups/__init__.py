@@ -5,10 +5,10 @@ from .messages import (GroupCommitAck, GroupFetch, GroupFetchReply,
                        GroupMsg, GroupRelayPush, GroupSeed,
                        InterestAnnounce, JoinGroup, LeaveGroup,
                        MembershipUpdate, TxnPull, TxnPushMsg)
-from .peergroup import GroupMember, form_group
+from .peergroup import COMMIT_VARIANTS, GroupMember, form_group
 
 __all__ = [
-    "GroupMember", "form_group",
+    "GroupMember", "form_group", "COMMIT_VARIANTS",
     "CollaborationGroup", "VersionHistory",
     "GroupMsg", "JoinGroup", "LeaveGroup", "MembershipUpdate",
     "GroupSeed", "InterestAnnounce", "GroupFetch", "GroupFetchReply",

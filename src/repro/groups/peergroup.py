@@ -13,7 +13,7 @@ A peer group is a set of well-connected edge nodes.  Within the group:
   before falling back to the DC (the peer-group hits of Figure 5), and
   pull missing transactions from neighbours by dot.
 
-Two commit variants (section 5.1.4):
+Three commit variants (section 5.1.4 plus the Tiga extension):
 
 * ``"async"`` (default, used in the paper's evaluation): a transaction
   commits locally at once; consensus runs in the background;
@@ -22,6 +22,11 @@ Two commit variants (section 5.1.4):
   Parallel Snapshot Isolation.  The conflict test is a deterministic
   function of the visibility order, so every member reaches the same
   verdict without further communication.
+* ``"tiga"``: deadline-ordered fast path (see :mod:`repro.epaxos.tiga`).
+  The coordinator stamps the transaction with a future HLC deadline and
+  commits on a one-round-trip majority of acks; members release in
+  deadline order.  Late arrivals and outages fall back to the EPaxos
+  path, which stays the correctness baseline.
 """
 
 from __future__ import annotations
@@ -36,15 +41,22 @@ from ..core.dot import Dot
 from ..core.txn import CommitStamp, ObjectKey, Transaction
 from ..dc.messages import EdgeCommit, ObjectResponse, UpdatePush
 from ..edge.node import EdgeNode, _RunningTxn
-from ..epaxos.messages import InstanceId
+from ..epaxos.messages import InstanceId, TigaMessage
 from ..epaxos.replica import EPaxosReplica
+from ..epaxos.tiga import RoundKey, TigaSequencer
 from ..obs.trace import GROUP_ORDER
+from ..sim.clock import HlcTimestamp, HybridLogicalClock
 from ..sim.events import EventLoop
 from ..sim.network import Network
 from .messages import (GroupCommitAck, GroupFetch, GroupFetchReply,
                        GroupMsg, GroupRelayPush, GroupSeed,
                        InterestAnnounce, JoinGroup, LeaveGroup,
                        MembershipUpdate, TxnPull, TxnPushMsg)
+
+
+#: The accepted ``commit_variant`` values (single source of truth for
+#: validation, CLIs and benchmarks).
+COMMIT_VARIANTS: Tuple[str, ...] = ("async", "psi", "tiga")
 
 
 def _txn_conflict_keys(txn_dict: dict) -> List[Tuple[str, str]]:
@@ -71,8 +83,9 @@ class GroupMember(EdgeNode):
         super().__init__(node_id, loop, network, dc_id,
                          cache_capacity=cache_capacity, user=user,
                          security_enabled=security_enabled, rng=rng)
-        if commit_variant not in ("async", "psi"):
-            raise ValueError("commit_variant must be 'async' or 'psi'")
+        if commit_variant not in COMMIT_VARIANTS:
+            accepted = ", ".join(repr(v) for v in COMMIT_VARIANTS)
+            raise ValueError(f"commit_variant must be one of {accepted}")
         self.group_id = group_id
         self.parent_id = parent_id
         self.commit_variant = commit_variant
@@ -85,9 +98,19 @@ class GroupMember(EdgeNode):
         self._exec_seen: Set[Dot] = set()
         self.visibility_log: List[Transaction] = []
         self._aborted_dots: Set[Dot] = set()
-        # PSI-variant transactions awaiting their consensus slot.
+        # Critical-path transactions (psi and tiga variants) awaiting
+        # their visibility slot / fast-path verdict.
         self._psi_pending: Dict[Dot, Tuple[_RunningTxn, Any,
                                            Transaction]] = {}
+        # Tiga fast path (``commit_variant="tiga"``).
+        self.hlc = HybridLogicalClock(self.clock, node_id)
+        self.tiga: Optional[TigaSequencer] = None
+        #: dot -> released in deadline order?  Feeds the GROUP_ORDER
+        #: span's ``fast_path`` attribute; absent for EPaxos slots.
+        self._tiga_release_meta: Dict[Dot, bool] = {}
+        # Last re-broadcast of an own fast commit whose stamp is still
+        # symbolic (a member may have missed the certificate).
+        self._tiga_recommit_at: Dict[Dot, float] = {}
         # Sync-point state (active when self is the parent).
         self._ship_queue: "OrderedDict[Dot, Transaction]" = OrderedDict()
         self._ship_sent_at: Dict[Dot, float] = {}
@@ -173,6 +196,18 @@ class GroupMember(EdgeNode):
                     self._propose_txn(txn)
         else:
             self.replica.set_members(list(self.members))
+        if self.commit_variant == "tiga":
+            if self.tiga is None:
+                self.tiga = TigaSequencer(
+                    self.node_id, self.members, self.clock, self.hlc,
+                    send=self._send_consensus,
+                    on_commit=self._on_tiga_commit,
+                    on_release=self._on_tiga_release,
+                    on_fallback=self._on_tiga_fallback,
+                    set_timer=self.set_timer,
+                    now_fn=lambda: self.now)
+            else:
+                self.tiga.set_members(self.members)
 
     def join_group(self) -> None:
         """Ask the group's parent to admit this node (section 5.1.1)."""
@@ -181,6 +216,11 @@ class GroupMember(EdgeNode):
         self.send(self.parent_id, JoinGroup(self.node_id, interest))
 
     def leave_group(self) -> None:
+        if self.tiga is not None:
+            # Unresolved fast-path rounds re-propose through EPaxos
+            # while the replica still exists.
+            self.tiga.fail_pending()
+            self.tiga = None
         self.send(self.parent_id, LeaveGroup(self.node_id))
         self.members = ()
         self.replica = None
@@ -276,17 +316,22 @@ class GroupMember(EdgeNode):
 
     def _finish_txn(self, running: _RunningTxn, result: Any) -> None:
         ctx = running.ctx
-        if (self.commit_variant != "psi" or ctx.is_read_only
+        if (self.commit_variant not in ("psi", "tiga") or ctx.is_read_only
                 or not self.in_group):
             super()._finish_txn(running, result)
             return
-        # PSI: consensus on the critical path of commitment.
+        # Ordering on the critical path of commitment: a consensus slot
+        # (psi) or a deadline-stamped fast-path round (tiga).
         dot = Dot(self.lamport.tick(), self.node_id)
         txn = Transaction(dot=dot, origin=self.node_id,
                           snapshot=ctx.snapshot, commit=CommitStamp(),
                           writes=list(ctx.writes), issuer=self.user)
         self._psi_pending[dot] = (running, result, txn)
-        self._propose_txn(txn)
+        if self.commit_variant == "tiga":
+            assert self.tiga is not None
+            self.tiga.propose(txn.to_dict())
+        else:
+            self._propose_txn(txn)
 
     def _apply_psi_commit(self, txn: Transaction) -> None:
         """Own PSI transaction reached its slot without conflict: apply."""
@@ -313,11 +358,72 @@ class GroupMember(EdgeNode):
             running.on_abort(Exception("psi-conflict"))
 
     # ------------------------------------------------------------------
+    # tiga fast path (commit_variant="tiga")
+    # ------------------------------------------------------------------
+    def _on_tiga_commit(self, key: RoundKey,
+                        deadline: HlcTimestamp) -> None:
+        """Own transaction reached its fast quorum: the deadline slot is
+        durable on a majority, so commit now — release (visibility-log
+        insertion and shipping) follows at the deadline."""
+        dot = Dot(key[0], key[1])
+        pending = self._psi_pending.get(dot)
+        if pending is None:
+            return
+        self._tiga_recommit_at[dot] = self.now
+        self._apply_psi_commit(pending[2])
+
+    def _on_tiga_release(self, command: dict, deadline: HlcTimestamp,
+                         in_order: bool) -> None:
+        """A transaction's deadline arrived: insert it into the
+        visibility order through the shared execution pipeline."""
+        txn = Transaction.from_dict(command)
+        if txn.dot in self._exec_seen:
+            return
+        self._exec_seen.add(txn.dot)
+        self._tiga_release_meta[txn.dot] = in_order
+        self._exec_queue.append(txn)
+        self._drain_exec_queue()
+
+    def _on_tiga_fallback(self, key: RoundKey) -> None:
+        """Fast path abandoned (late deadline, loss, outage): the EPaxos
+        slow path carries the transaction to the same outcome."""
+        dot = Dot(key[0], key[1])
+        pending = self._psi_pending.get(dot)
+        if pending is None:
+            return
+        self._propose_txn(pending[2])
+
+    @property
+    def tiga_stats(self) -> Dict[str, int]:
+        """Fast-path counters (zeros outside the tiga variant)."""
+        if self.tiga is None:
+            return {"fast_commits": 0, "fallbacks": 0,
+                    "acks_sent": 0, "nacks_sent": 0}
+        return {"fast_commits": self.tiga.fast_commits,
+                "fallbacks": self.tiga.fallbacks,
+                "acks_sent": self.tiga.acks_sent,
+                "nacks_sent": self.tiga.nacks_sent}
+
+    def publish_tiga_metrics(self, registry) -> None:
+        """Publish fast-path counters into a metrics registry."""
+        stats = self.tiga_stats
+        registry.counter("commit_fast_path").inc(stats["fast_commits"])
+        registry.counter("commit_fallback").inc(stats["fallbacks"])
+        registry.counter("tiga_acks_sent").inc(stats["acks_sent"])
+        registry.counter("tiga_nacks_sent").inc(stats["nacks_sent"])
+
+    # ------------------------------------------------------------------
     # visibility pipeline: consensus execution -> integration -> ship
     # ------------------------------------------------------------------
     def _on_consensus_execute(self, cmd: dict,
                               instance_id: InstanceId) -> None:
-        self._own_instances.pop(instance_id, None)
+        # Own instances stay in ``_own_instances`` past local execution:
+        # a Commit broadcast lost on a lossy link would otherwise strand
+        # peers at preaccepted with nobody left to resend (recovery only
+        # fires for dependencies of *committed* instances, so an orphan
+        # with no committed dependents is invisible to it).  Maintenance
+        # drops the entry once the commit stamp resolves, which proves
+        # the sync point executed and shipped the transaction.
         self._blocked_since.pop(instance_id, None)
         txn = Transaction.from_dict(cmd)
         if txn.dot in self._exec_seen:
@@ -371,12 +477,18 @@ class GroupMember(EdgeNode):
             return
 
     def _log_visible(self, txn: Transaction) -> None:
-        """Append to the group visibility order (the EPaxos outcome)."""
+        """Append to the group visibility order (the agreed outcome)."""
         self.visibility_log.append(txn)
+        # Consumed whether or not tracing is on, so the recorder stays a
+        # pure observer (identical protocol state either way).
+        fast = self._tiga_release_meta.pop(txn.dot, None)
         if self.obs.enabled:
+            attrs: Dict[str, Any] = {"group": self.group_id,
+                                     "slot": len(self.visibility_log)}
+            if self.commit_variant == "tiga":
+                attrs["fast_path"] = bool(fast)
             self.obs.record(GROUP_ORDER, txn.dot, self.node_id,
-                            self.now, group=self.group_id,
-                            slot=len(self.visibility_log))
+                            self.now, **attrs)
 
     def _after_visible(self, txn: Transaction) -> None:
         """Sync point: ship in visibility order (section 5.1.3)."""
@@ -644,7 +756,8 @@ class GroupMember(EdgeNode):
         """Group pipelines drained too (chaos-harness quiescence probe)."""
         return (super().pipeline_idle and not self._exec_queue
                 and not self._ship_queue and not self._pull_pending
-                and not self._psi_pending and not self._resync_expect)
+                and not self._psi_pending and not self._resync_expect
+                and (self.tiga is None or self.tiga.idle))
 
     def disconnect_from_group(self) -> None:
         """Drop out of the group's network (Figure 6 scenario)."""
@@ -657,20 +770,57 @@ class GroupMember(EdgeNode):
         if self.replica is not None:
             for instance_id in list(self._own_instances):
                 self.replica.resend(instance_id)
+        if self.tiga is not None:
+            # Fast-path rounds started while cut off can never have
+            # gathered a quorum; hand them to EPaxos directly.
+            self.tiga.fail_pending()
         self._last_resync = -1e9
         self._resync_from_parent()
 
     # ------------------------------------------------------------------
     # liveness maintenance
     # ------------------------------------------------------------------
+    def _own_instance_settled(self, instance_id: InstanceId) -> bool:
+        """An own proposal needs no further resends once it is committed
+        locally and its commit stamp has resolved: the stamp only
+        resolves through the DC round trip, which proves the sync point
+        executed (hence received) the instance."""
+        assert self.replica is not None
+        inst = self.replica.instances.get(instance_id)
+        if inst is None or not inst.is_committed:
+            return False
+        dot = Dot.from_dict(inst.command["dot"])
+        return dot not in self.unacked
+
     def _group_maintenance(self) -> None:
         if self.replica is None or self.group_offline:
             return
         now = self.now
         for instance_id, created in list(self._own_instances.items()):
+            if self._own_instance_settled(instance_id):
+                del self._own_instances[instance_id]
+                continue
             if now - created > self.RESEND_AFTER_MS:
                 self.replica.resend(instance_id)
                 self._own_instances[instance_id] = now
+        if self.tiga is not None:
+            self.tiga.maintenance()
+            # Re-broadcast the commit certificate of an own fast commit
+            # whose stamp is still symbolic: the sync point (or another
+            # member) may have lost it, and nothing else would resend.
+            for dot, txn in list(self.unacked.items()):
+                if dot.origin != self.node_id \
+                        or not txn.commit.is_symbolic:
+                    continue
+                last = self._tiga_recommit_at.get(dot, -1e9)
+                if now - last > self.RECOVER_AFTER_MS:
+                    self._tiga_recommit_at[dot] = now
+                    self.tiga.rebroadcast_commit((dot.counter, dot.origin))
+            for dot in [d for d in self._tiga_recommit_at
+                        if d not in self.unacked]:
+                del self._tiga_recommit_at[dot]
+            self.tiga.prune(
+                lambda key: Dot(key[0], key[1]) not in self.unacked)
         blocked = self.replica.uncommitted_dependencies()
         for instance_id in blocked:
             since = self._blocked_since.setdefault(instance_id, now)
@@ -740,6 +890,12 @@ class GroupMember(EdgeNode):
                           TxnPushMsg)):
             return  # dropped: the member is cut off from its group
         if isinstance(message, GroupMsg):
+            if isinstance(message.payload, TigaMessage):
+                # Routed before the EPaxos replica, which rejects
+                # unknown payload types.
+                if self.tiga is not None:
+                    self.tiga.handle(message.payload, sender)
+                return
             if self.replica is None:
                 return
             self.replica.handle(message.payload, sender)

@@ -7,6 +7,8 @@ reproducible from the seed.
 """
 
 from .actor import Actor
+from .clock import (ClockService, HlcTimestamp, HybridLogicalClock,
+                    SkewedClock, hlc_wire_size)
 from .events import Event, EventLoop
 from .network import (CELLULAR, CELLULAR_LATENCY_MS, ETHERNET,
                       ETHERNET_LATENCY_MS, LAN, LAN_LATENCY_MS,
@@ -19,4 +21,6 @@ __all__ = [
     "LAN", "ETHERNET", "CELLULAR",
     "LAN_LATENCY_MS", "ETHERNET_LATENCY_MS", "CELLULAR_LATENCY_MS",
     "Simulation",
+    "ClockService", "SkewedClock", "HybridLogicalClock",
+    "HlcTimestamp", "hlc_wire_size",
 ]

@@ -76,6 +76,11 @@ class Actor:
         return self.loop.now
 
     @property
+    def clock(self) -> Any:
+        """This actor's skewed physical clock (zero skew by default)."""
+        return self.network.clocks.clock_for(self.node_id)
+
+    @property
     def obs(self) -> Any:
         """The world's lifecycle trace recorder (a no-op by default).
 

@@ -26,6 +26,7 @@ import random
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from ..obs.trace import NULL_RECORDER
+from .clock import ClockService
 from .events import EventLoop
 
 # Paper latency presets, milliseconds.
@@ -251,6 +252,9 @@ class Network:
         # The null default keeps tracing a pure observer: assigning a
         # repro.obs.TraceRecorder here must not change behaviour.
         self.obs = NULL_RECORDER
+        # Per-actor skewed physical clocks (zero skew until injected);
+        # actors reach them via ``Actor.clock``, chaos injects skew here.
+        self.clocks = ClockService(loop)
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, node_id: str,

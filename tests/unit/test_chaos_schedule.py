@@ -136,3 +136,57 @@ class TestFaultInjector:
         injector.install([FaultEvent(10.0, "migrate", ("e0", "dc1"))])
         sim.run_for(20)
         assert node.dc == "dc1"
+
+
+class TestClockSkewFaults:
+    def _skew_spec(self):
+        return FaultSpec(skew_nodes=["m0", "m1"])
+
+    def test_schedule_emits_clock_skew_events(self):
+        events = generate_schedule(5, self._skew_spec(), start=0.0,
+                                   window=5000.0)
+        skews = [e for e in events if e.kind == "clock_skew"]
+        assert skews
+        for event in skews:
+            assert event.targets[0] in ("m0", "m1")
+            assert -40.0 <= event.offset_ms <= 40.0
+            assert -0.05 <= event.rate <= 0.05
+            assert event.duration > 0.0
+
+    def test_offset_roundtrips_and_defaults(self):
+        event = FaultEvent(10.0, "clock_skew", ("m0",), rate=0.02,
+                           duration=500.0, offset_ms=-12.5)
+        assert FaultEvent.from_dict(event.to_dict()).offset_ms == -12.5
+        legacy = dict(event.to_dict())
+        del legacy["offset_ms"]
+        assert FaultEvent.from_dict(legacy).offset_ms == 0.0
+
+    def test_step_persists_but_drift_reverts(self):
+        sim = Simulation(seed=1, default_latency=LatencyModel(5.0))
+        injector = FaultInjector(sim, {}, {})
+        injector.install([FaultEvent(100.0, "clock_skew", ("m0",),
+                                     rate=0.05, duration=200.0,
+                                     offset_ms=30.0)])
+        sim.run_for(200)                  # mid-window
+        clock = sim.network.clocks.clock_for("m0")
+        assert clock.drift == 0.05
+        sim.run_for(200)                  # window over
+        assert clock.drift == 0.0
+        # The step and the drift accrued during the window both remain.
+        assert abs(clock.offset_ms - (30.0 + 0.05 * 200.0)) < 1e-6
+
+    def test_overlapping_skews_restore_remaining_rate(self):
+        sim = Simulation(seed=1, default_latency=LatencyModel(5.0))
+        injector = FaultInjector(sim, {}, {})
+        injector.install([
+            FaultEvent(100.0, "clock_skew", ("m0",), rate=0.04,
+                       duration=100.0),
+            FaultEvent(150.0, "clock_skew", ("m0",), rate=-0.01,
+                       duration=300.0)])
+        sim.run_for(180)                  # both active
+        clock = sim.network.clocks.clock_for("m0")
+        assert abs(clock.drift - 0.03) < 1e-12
+        sim.run_for(60)                   # first window over
+        assert abs(clock.drift - (-0.01)) < 1e-12
+        sim.run_for(300)
+        assert clock.drift == 0.0
