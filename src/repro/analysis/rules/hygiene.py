@@ -12,10 +12,62 @@ call site.
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..core import (CAT_BANNED, CAT_DICT, CAT_UNKNOWN, Finding, Module,
                     Project, Rule, function_params, root_name)
+
+#: M205 tolerance: declared ``wire_size()`` must stay within a factor
+#: of the real encoded length, with absolute slack so tiny/empty
+#: messages are not judged on scaffolding bytes alone.
+WIRE_DRIFT_FACTOR = 2.0
+WIRE_DRIFT_SLACK_BYTES = 32
+
+#: One M205 audit record: (module, class name, kind, detail) where kind
+#: is ``"unsampled"`` (no sample in ``repro.transport.samples``),
+#: ``"unencodable"`` (detail: repr of the codec error) or ``"drift"``
+#: (detail: ``(declared, actual)`` byte counts of the worst sample).
+AuditRecord = Tuple[str, str, str, object]
+
+#: Test/self-check seam: replaces :func:`_wire_audit` when set.
+AUDIT_OVERRIDE: Optional[Callable[[], List[AuditRecord]]] = None
+
+
+def _wire_audit() -> List[AuditRecord]:
+    """Encode every codec sample and measure ``wire_size()`` drift.
+
+    This is the runtime half of M205 — the static pass cannot know what
+    a message really encodes to, so the analyzer round-trips the shared
+    sample corpus through the transport codec.  Returns no records when
+    the runtime modules are not importable (analysing a partial tree).
+    """
+    try:
+        from ...transport import samples
+        from ...transport.codec import wire_size_drift
+    except Exception:
+        return []
+    records: List[AuditRecord] = []
+    for cls in samples.unsampled_classes():
+        records.append((cls.__module__, cls.__name__, "unsampled", None))
+    for cls, items in samples.samples_by_class().items():
+        worst: Optional[Tuple[int, int]] = None
+        for sample in items:
+            try:
+                declared, actual = wire_size_drift(sample)
+            except Exception as exc:
+                records.append((cls.__module__, cls.__name__,
+                                "unencodable", repr(exc)))
+                break
+            low = actual / WIRE_DRIFT_FACTOR - WIRE_DRIFT_SLACK_BYTES
+            high = actual * WIRE_DRIFT_FACTOR + WIRE_DRIFT_SLACK_BYTES
+            if low <= declared <= high:
+                continue
+            if worst is None or abs(declared - actual) > \
+                    abs(worst[0] - worst[1]):
+                worst = (declared, actual)
+        if worst is not None:
+            records.append((cls.__module__, cls.__name__, "drift", worst))
+    return records
 
 
 def _freshness(node: ast.AST, params: "set[str]") -> Optional[str]:
@@ -66,6 +118,8 @@ class MessageHygieneRule(Rule):
         "M203": "mutable container passed into a message constructor "
                 "without a copy",
         "M204": "message dataclass must implement wire_size()",
+        "M205": "declared wire_size() drifts beyond tolerance from "
+                "the real encoded length",
     }
 
     # -- per messages.py module -------------------------------------------
@@ -108,11 +162,53 @@ class MessageHygieneRule(Rule):
                         f"{cls.name}.{stmt.target.id}"))
         return findings
 
+    # -- M205: runtime wire_size honesty ----------------------------------
+    def _locate(self, project: Project, module_name: str,
+                cls_name: str) -> Optional[Tuple[str, int, int]]:
+        """Source location of a runtime class inside this project, or
+        None when its module is not part of the analyzer run."""
+        static = project.message_classes.get(f"{module_name}.{cls_name}")
+        if static is not None:
+            return (static.module.path, static.node.lineno,
+                    static.node.col_offset)
+        for module in project.modules:
+            if module.modname != module_name:
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) \
+                        and node.name == cls_name:
+                    return module.path, node.lineno, node.col_offset
+            return module.path, 1, 0
+        return None
+
+    def _wire_findings(self, project: Project) -> Iterable[Finding]:
+        audit = AUDIT_OVERRIDE() if AUDIT_OVERRIDE else _wire_audit()
+        for module_name, cls_name, kind, detail in audit:
+            where = self._locate(project, module_name, cls_name)
+            if where is None:   # class outside the analysed tree
+                continue
+            path, line, col = where
+            if kind == "unsampled":
+                message = (f"registered message {cls_name} has no "
+                           "sample in repro.transport.samples, so its "
+                           "wire_size() honesty is unaudited")
+            elif kind == "unencodable":
+                message = (f"sample of {cls_name} does not survive the "
+                           f"transport codec: {detail}")
+            else:
+                declared, actual = detail  # type: ignore[misc]
+                message = (f"{cls_name}.wire_size() declares {declared} "
+                           f"bytes but a representative sample encodes "
+                           f"to {actual}; recalibrate (tolerance: "
+                           f"{WIRE_DRIFT_FACTOR}x + "
+                           f"{WIRE_DRIFT_SLACK_BYTES} B either way)")
+            yield Finding("M205", path, line, col, message, cls_name)
+
     # -- constructor call sites, anywhere in the tree ---------------------
     def finalize(self, project: Project) -> Iterable[Finding]:
         if not project.message_classes:
             return ()
-        findings: List[Finding] = []
+        findings: List[Finding] = list(self._wire_findings(project))
         for module in project.modules:
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.Call):

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, TextIO
 
 from .core import Finding, Project, run_rules
-from .rules import ALL_RULES
+from .rules import ALL_RULES, hygiene
 
 #: Every code the registry can emit; the planted tree must trip all.
 EXPECTED: Set[str] = {code for rule in ALL_RULES for code in rule.codes}
@@ -127,7 +127,15 @@ def planted_sources() -> Dict[str, str]:
 
 def run_self_check(out: TextIO) -> int:
     project = Project.from_sources(planted_sources())
-    findings: List[Finding] = run_rules(project, ALL_RULES)
+    # M205 is a runtime audit (it encodes real message samples), so the
+    # planted in-memory tree cannot trip it organically; inject a fake
+    # audit record against a planted class to prove the reporting path.
+    hygiene.AUDIT_OVERRIDE = lambda: [
+        ("planted.messages", "BadRecord", "drift", (8, 400))]
+    try:
+        findings: List[Finding] = run_rules(project, ALL_RULES)
+    finally:
+        hygiene.AUDIT_OVERRIDE = None
     reported = {finding.rule for finding in findings}
     for finding in findings:
         out.write(finding.render() + "\n")

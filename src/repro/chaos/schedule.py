@@ -16,6 +16,10 @@ Fault vocabulary (each maps to existing simulator/protocol levers):
                 model where a node recovers with its durable state
 ``offline``     voluntary disconnection (``EdgeNode.go_offline``): the
                 node keeps executing locally (section 7.3.1)
+``crash``       fail-stop the *process* (``Actor.crash``/``recover``):
+                the node ignores everything while down and comes back
+                with its durable state but a clean timer slate — every
+                timer armed pre-crash is dead, periodic timers re-arm
 ``migrate``     re-home an edge-tier node to another DC (section 3.8)
 ``churn``       a group member drops off the peer network and later
                 rejoins (section 5 churn / Figure 6 scenario)
@@ -39,7 +43,7 @@ import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 FAULT_KINDS = ("partition", "loss", "blackout", "offline", "migrate",
-               "churn", "dc_isolate", "clock_skew")
+               "churn", "dc_isolate", "clock_skew", "crash")
 
 
 class FaultEvent:
@@ -106,7 +110,8 @@ class FaultSpec:
                  churn_nodes: Sequence[str] = (),
                  migrations: Optional[Dict[str, Sequence[str]]] = None,
                  dcs: Sequence[str] = (),
-                 skew_nodes: Sequence[str] = ()):
+                 skew_nodes: Sequence[str] = (),
+                 crash_nodes: Sequence[str] = ()):
         self.wan_links = list(wan_links)
         self.access_links = list(access_links)
         self.group_links = list(group_links)
@@ -117,6 +122,7 @@ class FaultSpec:
                            for k, v in (migrations or {}).items()}
         self.dcs = list(dcs)
         self.skew_nodes = list(skew_nodes)
+        self.crash_nodes = list(crash_nodes)
 
     @property
     def faultable_links(self) -> List[Tuple[str, str]]:
@@ -143,6 +149,10 @@ def generate_schedule(seed: int, spec: FaultSpec, *,
         kinds.append("dc_isolate")
     if spec.skew_nodes:
         kinds.append("clock_skew")
+    # Appended last so specs without crash_nodes draw the exact same
+    # schedules as before the kind existed (seed stability).
+    if spec.crash_nodes:
+        kinds.append("crash")
     if not kinds:
         return []
     events: List[FaultEvent] = []
@@ -181,6 +191,10 @@ def generate_schedule(seed: int, spec: FaultSpec, *,
                 rate=rng.uniform(-0.05, 0.05),
                 duration=rng.uniform(500.0, 3000.0),
                 offset_ms=rng.uniform(-40.0, 40.0)))
+        elif kind == "crash":
+            node = rng.choice(spec.crash_nodes)
+            events.append(FaultEvent(at, kind, (node,),
+                                     duration=rng.uniform(200.0, 1500.0)))
         else:  # dc_isolate
             dc = rng.choice(spec.dcs)
             events.append(FaultEvent(at, kind, (dc,),
@@ -243,6 +257,8 @@ class FaultInjector:
             self.network.isolate(event.targets[0])
         elif event.kind == "offline":
             self.actors[event.targets[0]].go_offline()
+        elif event.kind == "crash":
+            self.actors[event.targets[0]].crash()
         elif event.kind == "migrate":
             node, dest = event.targets
             self.actors[node].migrate_to(dest)
@@ -281,6 +297,9 @@ class FaultInjector:
         elif event.kind == "offline":
             if not remaining:
                 self.actors[event.targets[0]].go_online()
+        elif event.kind == "crash":
+            if not remaining:
+                self.actors[event.targets[0]].recover()
         elif event.kind == "churn":
             if not remaining:
                 self.actors[event.targets[0]].reconnect_to_group()

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import (Any, Callable, Dict, List, Optional, Set,
-                    Tuple)
+from typing import (Any, Callable, Dict, List, Optional, Set, Tuple,
+                    Union)
 
 from ..core.clock import LamportClock, VectorClock
 from ..core.dot import Dot, DotTracker
@@ -35,6 +35,7 @@ from ..security.enforcement import SecurityEnforcer
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 from .interest import ShardMap, shards_of_mask
 from .messages import (HEADER_BYTES, SKIP_MARKER_BYTES, CommitAck,
                        CommitReject, DCSyncPing, EdgeCommit,
@@ -174,7 +175,8 @@ class DataCenter(Actor):
     REPL_FLUSH_MS = 1.0
     REPL_BATCH_MAX = 256
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network] = None,
                  peer_dcs: Optional[List[str]] = None,
                  n_shards: int = 4, k_target: int = 1,
                  security: Optional[SecurityEnforcer] = None,

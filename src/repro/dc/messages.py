@@ -23,8 +23,23 @@ from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 #: Fixed per-message framing overhead (type tag, lengths, checksums).
 HEADER_BYTES = 16
-#: A dot is a (counter, origin) pair: 8 bytes + a short origin id.
-DOT_BYTES = 16
+#: A dot dict on the wire: tag scaffolding, the ``origin``/``counter``
+#: field names, a short origin id and a varint counter.  Calibrated
+#: against the transport codec (M205 keeps it honest).
+DOT_BYTES = 24
+#: Dict scaffolding of a serialised transaction beyond its payload:
+#: the ``dot``/``origin``/``snapshot``/``commit``/``writes``/``issuer``
+#: field names, nested dict tags and the origin/issuer ids.
+TXN_OVERHEAD_BYTES = 96
+#: Dict scaffolding of one write: the ``key``/``op`` envelope plus the
+#: ``type``/``method``/``payload``/``tag`` field names.
+WRITE_OVERHEAD_BYTES = 64
+#: Key dict plus ``type``/``base``/``base_dots`` field names of a
+#: journal snapshot state.
+OBJECT_STATE_OVERHEAD_BYTES = 60
+#: ``dot``/``origin``/``sv``/``deps``/``cx``/``writes`` field names of
+#: one replication stream entry.
+STREAM_ENTRY_OVERHEAD_BYTES = 48
 
 
 def vector_wire_size(vector: Mapping[Any, int]) -> int:
@@ -36,10 +51,13 @@ def _writes_wire_size(writes: Sequence[Mapping[str, Any]]) -> int:
     total = 0
     for write in writes:
         key = write.get("key") or {}
-        total += (len(str(key.get("bucket", "")))
-                  + len(str(key.get("key", ""))) + 1)
+        total += (WRITE_OVERHEAD_BYTES
+                  + len(str(key.get("bucket", "")))
+                  + len(str(key.get("key", ""))))
         op = write.get("op") or {}
-        total += len(repr(op.get("payload", {})))
+        total += (len(str(op.get("type", "")))
+                  + len(str(op.get("method", "")))
+                  + len(repr(op.get("payload", {}))))
     return total
 
 
@@ -47,13 +65,13 @@ def txn_wire_size(txn: Mapping[str, Any]) -> int:
     """Wire size of a serialised transaction.
 
     Mirrors ``Transaction.byte_size`` so dict payloads and live objects
-    account identically: 16-byte dot, 8 bytes per snapshot-vector entry,
-    16 per local dep, 8 per commit entry (minimum one, the symbolic
-    placeholder), plus the writes' keys and payloads.
+    account identically: the txn envelope, a dot, 8 bytes per
+    snapshot-vector entry, a dot per local dep, 8 per commit entry
+    (minimum one, the symbolic placeholder), plus the writes.
     """
     snapshot = txn.get("snapshot") or {}
     commit = (txn.get("commit") or {}).get("entries") or {}
-    size = DOT_BYTES
+    size = TXN_OVERHEAD_BYTES + DOT_BYTES
     size += vector_wire_size(snapshot.get("vector") or {})
     size += DOT_BYTES * len(snapshot.get("local_deps") or ())
     size += 8 * max(1, len(commit))
@@ -63,7 +81,7 @@ def txn_wire_size(txn: Mapping[str, Any]) -> int:
 
 def object_state_wire_size(state: Mapping[str, Any]) -> int:
     """Journal snapshot states shipped in seeds and read replies."""
-    return (24 + len(repr(state.get("base")))
+    return (OBJECT_STATE_OVERHEAD_BYTES + len(repr(state.get("base")))
             + DOT_BYTES * len(state.get("base_dots") or ()))
 
 
@@ -73,9 +91,9 @@ def stream_entry_wire_size(entry: Mapping[str, Any]) -> int:
     The stream origin's commit entry is implicit in the frame position
     and the snapshot vector is a delta against the frame base, so an
     entry whose snapshot sits at the link frontier costs just the dot,
-    the origin id and its writes.
+    the origin id, the entry scaffolding and its writes.
     """
-    size = DOT_BYTES
+    size = STREAM_ENTRY_OVERHEAD_BYTES + DOT_BYTES
     size += len(str(entry.get("origin", "")))
     size += vector_wire_size(entry.get("sv") or {})
     size += DOT_BYTES * len(entry.get("deps") or ())

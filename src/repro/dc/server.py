@@ -9,7 +9,7 @@ visibility are the coordinator's business (the DC is one SI zone).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from ..core.clock import VectorClock
 from ..core.dot import Dot
@@ -18,6 +18,7 @@ from ..core.txn import ObjectKey, Transaction
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 from ..store.kv import VersionedStore
 from ..store.matcache import MaterialisedCache
 from .messages import (ShardAbort, ShardApply, ShardApplyBatch,
@@ -28,7 +29,8 @@ from .messages import (ShardAbort, ShardApply, ShardApplyBatch,
 class ShardServer(Actor):
     """Stores the journals of the keys it owns."""
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network] = None,
                  rng: Optional[random.Random] = None):
         super().__init__(node_id, loop, network, rng)
         self.store = VersionedStore(mat_cache=MaterialisedCache())

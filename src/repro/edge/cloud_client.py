@@ -9,7 +9,7 @@ under SI inside the DC and geo-replicates it.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.clock import LamportClock
 from ..core.txn import ObjectKey
@@ -17,13 +17,15 @@ from ..dc.messages import RemoteTxnReply, RemoteTxnRequest
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 from .node import TxnStats
 
 
 class CloudClient(Actor):
     """A thin client executing every transaction remotely in the DC."""
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network],
                  dc_id: str, user: Optional[str] = None,
                  rng: Optional[random.Random] = None):
         super().__init__(node_id, loop, network, rng)

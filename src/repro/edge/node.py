@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Set,
-                    Tuple)
+                    Tuple, Union)
 
 from ..core.clock import LamportClock, VectorClock
 from ..core.dot import Dot, DotTracker
@@ -31,6 +31,7 @@ from ..security.enforcement import (ACL_OBJECT, RI_OBJECTS, RI_USERS,
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 from ..store.cache import InterestCache
 from .txn_context import (AbortTransaction, ReadIntent, TransactionContext,
                           UpdateIntent)
@@ -122,7 +123,8 @@ class EdgeNode(Actor):
 
     RETRY_INTERVAL_MS = 500.0
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network],
                  dc_id: str, cache_capacity: Optional[int] = None,
                  user: Optional[str] = None, security_enabled: bool = False,
                  writeback_ms: Optional[float] = None,

@@ -18,7 +18,7 @@ serves unrelated clients, so it offers plain TCC+, not an SI zone.
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Set, Union
 
 from ..core.clock import VectorClock
 from ..core.dot import Dot
@@ -29,13 +29,15 @@ from ..dc.messages import (CommitAck, CommitReject, EdgeCommit,
                            SessionAck, SessionOpen, UpdatePush)
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 from .node import EdgeNode
 
 
 class PoPNode(EdgeNode):
     """A border cache that proxies edge sessions towards its DC."""
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network],
                  dc_id: str, cache_capacity: Optional[int] = None,
                  rng: Optional[random.Random] = None):
         super().__init__(node_id, loop, network, dc_id,

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..security.crypto import KeyService
 from ..sim.actor import Actor
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 
 
 @dataclass(frozen=True)
@@ -49,7 +50,8 @@ class GroupInfo:
 class SessionManager(Actor):
     """Authenticates clients and signals peer-group coordinates."""
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network] = None,
                  accounts: Optional[Dict[str, str]] = None,
                  rng: Optional[random.Random] = None):
         super().__init__(node_id, loop, network, rng)

@@ -33,8 +33,8 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict, deque
-from typing import (Any, Callable, Dict, Deque, List, Optional, Set,
-                    Tuple)
+from typing import (Any, Callable, Deque, Dict, List, Optional, Set,
+                    Tuple, Union)
 
 from ..core.clock import VectorClock
 from ..core.dot import Dot
@@ -48,6 +48,7 @@ from ..obs.trace import GROUP_ORDER
 from ..sim.clock import HlcTimestamp, HybridLogicalClock
 from ..sim.events import EventLoop
 from ..sim.network import Network
+from ..transport.base import Transport
 from .messages import (GroupCommitAck, GroupFetch, GroupFetchReply,
                        GroupMsg, GroupRelayPush, GroupSeed,
                        InterestAnnounce, JoinGroup, LeaveGroup,
@@ -73,7 +74,8 @@ class GroupMember(EdgeNode):
     RECOVER_AFTER_MS = 800.0
     SHIP_RETRY_MS = 500.0
 
-    def __init__(self, node_id: str, loop: EventLoop, network: Network,
+    def __init__(self, node_id: str, loop: Union[EventLoop, Transport],
+                 network: Optional[Network],
                  dc_id: str, group_id: str, parent_id: str,
                  commit_variant: str = "async",
                  cache_capacity: Optional[int] = None,

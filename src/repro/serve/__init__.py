@@ -1,0 +1,17 @@
+"""``python -m repro.serve``: the protocol stack as real OS processes.
+
+One process per deployment *site* (DC, PoP, edge node or group member),
+described by a TOML topology file, wired together with
+:class:`~repro.transport.asyncio_backend.AsyncioTransport` over
+localhost (or any reachable) TCP.  The supervisor process boots the
+sites, drives the topology's seeded workload, polls state digests over
+the control plane, and checks **digest parity**: the same workload run
+under the discrete-event simulator must converge to the same canonical
+state digest as the live deployment.
+"""
+
+from .topology import Topology, load_topology
+from .workload import canonical_digest, expected_state, generate_ops
+
+__all__ = ["Topology", "load_topology", "canonical_digest",
+           "expected_state", "generate_ops"]

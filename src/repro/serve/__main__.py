@@ -1,0 +1,55 @@
+"""CLI: ``python -m repro.serve --topology examples/serve_3dc.toml``.
+
+Without ``--node``, runs the supervisor: spawns one child process per
+site, drives the seeded workload live *and* under the DES, checks
+digest parity, and exits 0 iff the deployment converged, matched, and
+shut down cleanly.  With ``--node NAME``, runs that single site (the
+form the supervisor spawns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from .node import run_node
+from .supervisor import run_deployment, write_report
+from .topology import load_topology
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run a Colony deployment over asyncio TCP")
+    parser.add_argument("--topology", required=True,
+                        help="TOML topology file")
+    parser.add_argument("--node", default=None,
+                        help="run this single site (supervisor mode "
+                             "when omitted)")
+    parser.add_argument("--report", default=None,
+                        help="write the parity report JSON here")
+    parser.add_argument("--log-dir", default=None,
+                        help="per-site JSON-lines logs go here")
+    args = parser.parse_args(argv)
+
+    topo = load_topology(args.topology)
+
+    if args.node is not None:
+        if args.node not in topo.by_name:
+            parser.error(f"unknown site {args.node!r}")
+        summary = asyncio.run(run_node(topo, args.node))
+        return 0 if summary["clean"] else 1
+
+    report = run_deployment(topo, log_dir=args.log_dir)
+    if args.report:
+        write_report(report, args.report)
+    status = "OK" if report["ok"] else "FAILED"
+    print(f"[serve] {status}: parity={report['digest_parity']} "
+          f"clean_shutdown={report['clean_shutdown']} "
+          f"ops={report['ops']}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

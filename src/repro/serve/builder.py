@@ -1,0 +1,214 @@
+"""Build topology sites on either transport backend.
+
+The same construction code serves both halves of the parity check:
+
+* the live path builds *one* site per process over an
+  :class:`~repro.transport.asyncio_backend.AsyncioTransport`;
+* the reference path builds *every* site into one
+  :class:`~repro.sim.runtime.Simulation` (with the paper's latency
+  presets on the links) and drives the identical workload.
+
+Group bootstrap is config-driven rather than object-driven: every
+member derives the roster from the topology and calls ``init_group``
+locally, and the parent absorbs each member's interest set from the
+topology's key list — the cross-process equivalent of
+``repro.groups.peergroup.form_group``, which reaches into all member
+objects directly and therefore only works inside one process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..dc.datacenter import DataCenter
+from ..edge.node import EdgeNode
+from ..edge.pop import PoPNode
+from ..groups.peergroup import GroupMember
+from ..sim.network import CELLULAR, ETHERNET, LAN, LatencyModel
+from ..sim.runtime import Simulation
+from .topology import Site, Topology
+from .workload import Op, canonical_digest, expected_state, generate_ops
+
+#: Core-cloud mesh latency (paper section 7.2 geo-distribution stand-in).
+DC_MESH = LatencyModel(5.0, 1.0)
+
+#: Warm-up phases, matching the chaos harness's build sequence.
+CONNECT_SETTLE_MS = 300.0
+GROUP_SETTLE_MS = 500.0
+
+
+def build_site(transport: Any, topo: Topology, site: Site) -> Any:
+    """Construct one site's protocol actor over ``transport``.
+
+    Returns the site's principal actor (the DC, PoP, edge node or group
+    member).  Interest declaration and group bootstrap happen here;
+    ``connect()`` is the caller's job for non-group sites so the sim
+    path can interleave settling phases.
+    """
+    if site.role == "dc":
+        peer_ids = [s.name for s in topo.dcs if s.name != site.name]
+        return DataCenter(site.name, transport, None, peer_dcs=peer_ids,
+                          n_shards=site.n_shards,
+                          k_target=site.k_target)
+    if site.role == "pop":
+        return PoPNode(site.name, transport, None, dc_id=site.dc)
+    if site.role == "edge":
+        node = EdgeNode(site.name, transport, None, dc_id=site.dc)
+        for key, type_name in topo.keys:
+            node.declare_interest(key, type_name)
+        return node
+    if site.role == "member":
+        member = GroupMember(site.name, transport, None, dc_id=site.dc,
+                             group_id=site.group,
+                             parent_id=site.parent,
+                             commit_variant=site.commit_variant)
+        for key, type_name in topo.keys:
+            member.declare_interest(key, type_name)
+        return member
+    raise ValueError(f"unknown role {site.role!r}")
+
+
+def bootstrap_group(topo: Topology, member: GroupMember) -> None:
+    """Config-driven group formation for one member.
+
+    Every member installs the same roster; the parent additionally
+    absorbs each member's interest (all members declare the topology's
+    full key list) and opens the group's DC session.
+    """
+    roster = tuple(sorted(
+        s.name for s in topo.members_of(member.group_id)))
+    member.init_group(roster)
+    if member.is_parent:
+        interest = tuple((key.to_dict(), type_name)
+                         for key, type_name in topo.keys)
+        for name in roster:
+            member._absorb_interest(name, interest)
+        member.connect()
+
+
+# ---------------------------------------------------------------------------
+# DES reference world
+# ---------------------------------------------------------------------------
+
+class SimWorld:
+    """Every topology site inside one simulation."""
+
+    def __init__(self, topo: Topology, sim: Simulation,
+                 actors: Dict[str, Any]):
+        self.topo = topo
+        self.sim = sim
+        self.actors = actors
+        self.committed = 0
+        self.aborted = 0
+
+    @property
+    def dcs(self) -> List[DataCenter]:
+        return [self.actors[s.name] for s in self.topo.dcs]
+
+
+def build_sim_world(topo: Topology) -> SimWorld:
+    """Build the whole topology into a warmed-up simulation."""
+    sim = Simulation(seed=topo.seed, default_latency=CELLULAR)
+    transport = sim.network.transport_view(sim.loop)
+    actors: Dict[str, Any] = {}
+
+    dc_sites = topo.dcs
+    for site in dc_sites:
+        dc = build_site(transport, topo, site)
+        actors[site.name] = dc
+        for shard in dc.shard_ids:
+            sim.network.set_link(site.name, shard, LAN)
+    for a in dc_sites:
+        for b in dc_sites:
+            if a.name < b.name:
+                sim.network.set_link(a.name, b.name, DC_MESH)
+
+    members: List[GroupMember] = []
+    for site in topo.sites:
+        if site.role == "dc":
+            continue
+        actor = build_site(transport, topo, site)
+        actors[site.name] = actor
+        if site.role == "member":
+            members.append(actor)
+            for peer in topo.members_of(site.group):
+                if peer.name < site.name:
+                    sim.network.set_link(peer.name, site.name, LAN)
+            if site.name == site.parent:
+                sim.network.set_link(site.name, site.dc, ETHERNET)
+        elif site.role == "pop":
+            sim.network.set_link(site.name, site.dc, ETHERNET)
+        else:
+            sim.network.set_link(site.name, site.dc, CELLULAR)
+
+    # Settle sequence mirrors the chaos harness: plain edges connect,
+    # sessions open, then groups form on the live mesh.
+    for site in topo.sites:
+        if site.role in ("edge", "pop"):
+            actors[site.name].connect()
+    sim.run_for(CONNECT_SETTLE_MS)
+    for member in members:
+        bootstrap_group(topo, member)
+    sim.run_for(GROUP_SETTLE_MS)
+    return SimWorld(topo, sim, actors)
+
+
+def _schedule_ops(world: SimWorld, ops: List[Op]) -> None:
+    start = world.sim.now
+    for op in ops:
+        client = world.actors[op.client]
+
+        def body(tx, op=op):
+            yield tx.update(op.key, op.type_name, op.method, *op.args)
+
+        def fire(client=client, body=body) -> None:
+            def done(result, stats):
+                world.committed += 1
+
+            def abort(exc):
+                world.aborted += 1
+
+            client.run_transaction(body, on_done=done, on_abort=abort)
+
+        world.sim.loop.schedule_at(start + op.at_ms, fire)
+
+
+def run_reference(topo: Topology,
+                  ops: Optional[List[Op]] = None) -> Dict[str, Any]:
+    """Run the topology's workload under the DES to convergence.
+
+    Returns the canonical digest every DC agreed on, plus whether the
+    run converged to the analytic expectation of the op list.
+    """
+    if ops is None:
+        ops = generate_ops(topo.seed,
+                           [s.name for s in topo.clients],
+                           topo.keys, topo.n_txns, topo.window_ms)
+    world = build_sim_world(topo)
+    _schedule_ops(world, ops)
+    world.sim.run_for(topo.window_ms)
+
+    expect_digest = canonical_digest(expected_state(topo.keys, ops))
+    converged = False
+    waited = 0.0
+    step = 500.0
+    while waited <= topo.settle_max_ms:
+        digests = {canonical_digest(dc.state_digest())
+                   for dc in world.dcs}
+        if len(digests) == 1 and digests == {expect_digest}:
+            converged = True
+            break
+        world.sim.run_for(step)
+        waited += step
+    digests = sorted(canonical_digest(dc.state_digest())
+                     for dc in world.dcs)
+    return {
+        "digest": digests[0] if len(set(digests)) == 1 else None,
+        "dc_digests": digests,
+        "expected_digest": expect_digest,
+        "converged": converged,
+        "committed": world.committed,
+        "aborted": world.aborted,
+        "ops": len(ops),
+        "settle_ms": waited,
+    }

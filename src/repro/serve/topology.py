@@ -1,0 +1,211 @@
+"""TOML topology files for live deployments.
+
+A topology describes the deployment the way the paper's Figure 1 does:
+sites, their roles, who connects to whom — plus the seeded workload the
+deployment is driven with.  Example::
+
+    [deployment]
+    name = "serve-3dc"
+    seed = 0
+
+    [workload]
+    n_txns = 18
+    window_ms = 2000.0
+
+    [[keys]]
+    bucket = "app"
+    key = "c0"
+    type = "counter"
+
+    [[sites]]
+    name = "dc0"
+    role = "dc"
+    listen = "127.0.0.1:7450"
+    n_shards = 2
+    k_target = 2
+
+    [[sites]]
+    name = "m0"
+    role = "member"
+    listen = "127.0.0.1:7453"
+    dc = "dc0"
+    group = "g"
+    parent = "m0"
+    commit_variant = "async"
+
+    [[sites]]
+    name = "far"
+    role = "edge"
+    listen = "127.0.0.1:7456"
+    dc = "dc1"
+
+    [supervisor]
+    listen = "127.0.0.1:7459"
+
+Every ``dc`` site automatically peers with every other ``dc`` site (the
+paper's core-cloud mesh).  ``member`` sites sharing a ``group`` form one
+peer group; the ``parent`` member opens the group's DC session.  Edge
+and member sites declare interest in every listed key and issue the
+workload's transactions unless ``client = false``.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.txn import ObjectKey
+from ..groups.peergroup import COMMIT_VARIANTS
+
+ROLES = ("dc", "pop", "edge", "member")
+
+
+@dataclass
+class Site:
+    name: str
+    role: str
+    host: str
+    port: int
+    dc: Optional[str] = None          # upstream (edge/member/pop roles)
+    group: Optional[str] = None       # member role
+    parent: Optional[str] = None      # member role
+    commit_variant: str = "async"
+    n_shards: int = 2
+    k_target: int = 1
+    client: bool = True               # issues workload transactions
+
+    @property
+    def addr(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+@dataclass
+class Topology:
+    name: str
+    seed: int
+    sites: List[Site]
+    keys: List[Tuple[ObjectKey, str]]
+    n_txns: int
+    window_ms: float
+    settle_max_ms: float
+    supervisor_addr: Tuple[str, int]
+    path: Optional[str] = None
+    by_name: Dict[str, Site] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.by_name = {site.name: site for site in self.sites}
+
+    @property
+    def dcs(self) -> List[Site]:
+        return [s for s in self.sites if s.role == "dc"]
+
+    @property
+    def clients(self) -> List[Site]:
+        return [s for s in self.sites
+                if s.role in ("edge", "member") and s.client]
+
+    def members_of(self, group: str) -> List[Site]:
+        return [s for s in self.sites
+                if s.role == "member" and s.group == group]
+
+    @property
+    def groups(self) -> List[str]:
+        seen: List[str] = []
+        for site in self.sites:
+            if site.role == "member" and site.group not in seen:
+                seen.append(site.group)  # type: ignore[arg-type]
+        return seen
+
+    def homes(self) -> Dict[str, str]:
+        """Protocol node id -> site name, for transport routing.
+
+        Each site hosts the protocol actor of its own name plus a
+        control agent (``<name>.ctl``); the supervisor hosts only its
+        control agent.
+        """
+        homes = {}
+        for site in self.sites:
+            homes[site.name] = site.name
+            homes[f"{site.name}.ctl"] = site.name
+        homes["supervisor.ctl"] = "supervisor"
+        return homes
+
+    def peer_addrs(self) -> Dict[str, Tuple[str, int]]:
+        addrs = {site.name: site.addr for site in self.sites}
+        addrs["supervisor"] = self.supervisor_addr
+        return addrs
+
+
+def _parse_addr(raw: str, context: str) -> Tuple[str, int]:
+    host, sep, port = raw.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"{context}: bad address {raw!r} "
+                         "(expected host:port)")
+    return host, int(port)
+
+
+def parse_topology(data: dict, path: Optional[str] = None) -> Topology:
+    deployment = data.get("deployment", {})
+    workload = data.get("workload", {})
+
+    keys: List[Tuple[ObjectKey, str]] = []
+    for entry in data.get("keys", []):
+        keys.append((ObjectKey(entry["bucket"], entry["key"]),
+                     entry.get("type", "counter")))
+    if not keys:
+        raise ValueError("topology declares no [[keys]]")
+
+    sites: List[Site] = []
+    for entry in data.get("sites", []):
+        role = entry.get("role")
+        if role not in ROLES:
+            raise ValueError(f"site {entry.get('name')!r}: "
+                             f"unknown role {role!r}")
+        host, port = _parse_addr(entry["listen"],
+                                 f"site {entry['name']!r}")
+        variant = entry.get("commit_variant", "async")
+        if variant not in COMMIT_VARIANTS:
+            raise ValueError(f"site {entry['name']!r}: unknown "
+                             f"commit_variant {variant!r}")
+        sites.append(Site(
+            name=entry["name"], role=role, host=host, port=port,
+            dc=entry.get("dc"), group=entry.get("group"),
+            parent=entry.get("parent"), commit_variant=variant,
+            n_shards=int(entry.get("n_shards", 2)),
+            k_target=int(entry.get("k_target", 1)),
+            client=bool(entry.get("client", True))))
+    if not sites:
+        raise ValueError("topology declares no [[sites]]")
+    names = [s.name for s in sites]
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate site names")
+
+    for site in sites:
+        if site.role in ("edge", "member", "pop"):
+            if site.dc is None:
+                raise ValueError(f"site {site.name!r}: role "
+                                 f"{site.role!r} needs dc = ...")
+        if site.role == "member":
+            if site.group is None or site.parent is None:
+                raise ValueError(f"site {site.name!r}: member needs "
+                                 "group and parent")
+
+    sup = data.get("supervisor", {})
+    sup_addr = _parse_addr(sup.get("listen", "127.0.0.1:0"),
+                           "supervisor")
+
+    return Topology(
+        name=deployment.get("name", "serve"),
+        seed=int(deployment.get("seed", 0)),
+        sites=sites, keys=keys,
+        n_txns=int(workload.get("n_txns", 18)),
+        window_ms=float(workload.get("window_ms", 2000.0)),
+        settle_max_ms=float(workload.get("settle_max_ms", 30000.0)),
+        supervisor_addr=sup_addr, path=path)
+
+
+def load_topology(path: str) -> Topology:
+    with open(path, "rb") as handle:
+        data = tomllib.load(handle)
+    return parse_topology(data, path=path)

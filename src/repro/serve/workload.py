@@ -1,0 +1,92 @@
+"""Seeded deployment workload and canonical state digests.
+
+The workload is a pure function of the topology: ``seed`` fixes every
+operation (which client, which key, which CRDT update, when).  All
+operations are *local* client transactions — locally committed CRDT
+updates are exactly once by dot dedup, so any run that commits every
+operation and converges holds the same final state, whether the clock
+was simulated or real.  That makes the digest comparison content-based
+and timing-independent: the DES reference, the live deployment, and the
+analytic expectation (folding the op list) must all agree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.txn import ObjectKey
+
+
+@dataclass(frozen=True)
+class Op:
+    """One client transaction of the deployment workload."""
+
+    at_ms: float           # offset from the site's workload start
+    client: str            # site (and protocol node) name
+    key: ObjectKey
+    type_name: str
+    method: str            # "increment" | "add"
+    args: Tuple
+
+
+def generate_ops(seed: int, clients: Sequence[str],
+                 keys: Sequence[Tuple[ObjectKey, str]],
+                 n_txns: int, window_ms: float) -> List[Op]:
+    """The deployment's op list; deterministic for (seed, topology)."""
+    rng = random.Random(f"serve-workload/{seed}")
+    span = max(window_ms - 200.0, 100.0)
+    ops = []
+    for i in range(n_txns):
+        at = rng.uniform(50.0, span)
+        client = rng.choice(list(clients))
+        key, type_name = rng.choice(list(keys))
+        if type_name == "counter":
+            method, args = "increment", (rng.randint(1, 5),)
+        else:
+            method, args = "add", (f"{client}:{i}",)
+        ops.append(Op(at, client, key, type_name, method, args))
+    return ops
+
+
+def expected_state(keys: Sequence[Tuple[ObjectKey, str]],
+                   ops: Sequence[Op]) -> Dict[ObjectKey, Any]:
+    """Fold the op list into the final CRDT state it must produce."""
+    state: Dict[ObjectKey, Any] = {
+        key: (0 if type_name == "counter" else set())
+        for key, type_name in keys}
+    for op in ops:
+        if op.method == "increment":
+            state[op.key] += op.args[0]
+        else:
+            state[op.key].add(op.args[0])
+    return state
+
+
+def _canonical_value(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, (list, tuple)):
+        return sorted(value)
+    return value
+
+
+def canonical_digest(digest: Dict[ObjectKey, Any]) -> str:
+    """Content-addressed hex digest of a ``state_digest()`` mapping.
+
+    Keys sort lexically and set-valued CRDT states sort internally, so
+    the digest is independent of dict order, hash seed, and backend.
+    Empty-valued keys (counter 0 / empty set) are dropped: a replica
+    that never saw a key and one that saw only no-ops agree.
+    """
+    canon = {}
+    for key, value in digest.items():
+        value = _canonical_value(value)
+        if value == 0 or value == []:
+            continue
+        canon[f"{key.bucket}/{key.key}"] = value
+    raw = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()

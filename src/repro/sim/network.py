@@ -218,9 +218,13 @@ class Network:
 
     def __init__(self, loop: EventLoop, rng: random.Random,
                  default_latency: Optional[LatencyModel] = None,
-                 fifo_mode: str = "seq"):
+                 fifo_mode: str = "seq", seed: int = 0):
         self._loop = loop
         self._rng = rng
+        #: Determinism root actors derive default RNGs from (see
+        #: ``repro.transport.base.Transport.seed``).
+        self.seed = seed
+        self._transport_view: Any = None
         self._default = default_latency or LatencyModel(1.0)
         self._links: Dict[Tuple[str, str], LatencyModel] = {}
         self._handlers: Dict[str, Callable[[Any, str], None]] = {}
@@ -255,6 +259,20 @@ class Network:
         # Per-actor skewed physical clocks (zero skew until injected);
         # actors reach them via ``Actor.clock``, chaos injects skew here.
         self.clocks = ClockService(loop)
+
+    def transport_view(self, loop: EventLoop) -> Any:
+        """This ``(loop, network)`` pair as a cached ``SimTransport``.
+
+        Actors constructed the legacy way — ``Actor(id, loop, network)``
+        — share this one view instead of allocating a transport each,
+        which matters at the million-actor scale point.
+        """
+        view = self._transport_view
+        if view is None or view.loop is not loop:
+            from ..transport.base import SimTransport
+            view = SimTransport(loop, self)
+            self._transport_view = view
+        return view
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, node_id: str,

@@ -29,7 +29,7 @@ class Simulation:
         self.rng = random.Random(seed)
         self.loop = EventLoop()
         self.network = Network(self.loop, self.rng, default_latency,
-                               fifo_mode=fifo_mode)
+                               fifo_mode=fifo_mode, seed=seed)
         self.actors: Dict[str, Actor] = {}
 
     @property

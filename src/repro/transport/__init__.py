@@ -1,0 +1,31 @@
+"""Transport abstraction: the seam between protocol code and I/O.
+
+Every protocol actor (edge, PoP, group member, DC, shard server) is
+written against the :class:`Transport` interface — a bundle of a timer
+facet (``now``/``schedule``/``schedule_fast``) and a network facet
+(``attach``/``send``/``clocks``/``obs``/``stats``).  Two backends
+implement it:
+
+* :class:`SimTransport` — the discrete-event simulator
+  (``repro.sim``): virtual time, modelled latency, deterministic.
+  This remains the test substrate.
+* :class:`AsyncioTransport` — real asyncio TCP sockets between OS
+  processes with monotonic-clock timers: the production path driven by
+  ``python -m repro.serve``.
+
+The wire codec (:mod:`repro.transport.codec`) serialises every message
+dataclass with a length-prefixed self-describing encoding, and keeps
+the declared ``wire_size()`` estimates honest against real encoded
+lengths (colony-lint M205).
+"""
+
+from .base import NetworkFacet, SimTransport, TimerFacet, Transport
+from .codec import (decode_frame, decode_message, encode_frame,
+                    encode_message, encoded_size, message_classes,
+                    wire_size_drift)
+
+__all__ = [
+    "NetworkFacet", "SimTransport", "TimerFacet", "Transport",
+    "decode_frame", "decode_message", "encode_frame", "encode_message",
+    "encoded_size", "message_classes", "wire_size_drift",
+]

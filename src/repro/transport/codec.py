@@ -1,0 +1,371 @@
+"""Length-prefixed wire codec for every protocol message dataclass.
+
+The simulator passes message objects by reference; the asyncio backend
+needs real bytes.  This module provides a small self-describing binary
+encoding with two layers:
+
+* a **value codec** covering the closed set of types protocol messages
+  are built from — ``None``, ``bool``, ``int`` (arbitrary precision,
+  zigzag varint), ``float`` (IEEE-754 double), ``str``, ``bytes``,
+  ``list``, ``tuple``, ``dict``, ``set``, ``frozenset``.  Tuples and
+  lists (and sets and frozensets) round-trip to their exact type so
+  decoded dataclasses compare equal to the originals.  Set and dict
+  elements are serialised in sorted-by-encoded-bytes order, making the
+  encoding canonical: equal values produce equal bytes regardless of
+  insertion order or hash seed.
+* a **message codec** that maps each registered dataclass to a short
+  type key (``"dc.SessionOpen"``) and encodes its field values in
+  declaration order.  Registration happens per module; the three
+  protocol message modules register at import, and ``repro.serve``
+  registers its control messages the same way.
+
+A frame on the socket is a 4-byte big-endian length followed by the
+value encoding of ``(src, dst, type_key, fields)``.
+
+``wire_size_drift`` compares a message's declared ``wire_size()`` (the
+analytical estimate the simulator charges for bandwidth accounting)
+against the real encoded length — colony-lint rule M205 fails messages
+whose declarations have drifted beyond tolerance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import struct
+from typing import Any, Dict, List, Tuple, Type
+
+# ---------------------------------------------------------------------------
+# Value codec
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_FALSE = 0x01
+_T_TRUE = 0x02
+_T_INT = 0x03        # zigzag varint
+_T_FLOAT = 0x04      # 8-byte big-endian IEEE-754 double
+_T_STR = 0x05        # varint byte length + utf-8
+_T_BYTES = 0x06      # varint byte length + raw
+_T_LIST = 0x07       # varint count + elements
+_T_TUPLE = 0x08
+_T_DICT = 0x09       # varint count + (key, value) pairs, canonical order
+_T_SET = 0x0A        # varint count + elements, canonical order
+_T_FROZENSET = 0x0B
+_T_MSG = 0x0C        # nested registered message: type key + field tuple
+
+_DOUBLE = struct.Struct(">d")
+
+#: Frames larger than this are treated as corruption, not data.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class CodecError(ValueError):
+    """Raised on unencodable values or malformed byte streams."""
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _read_varint(buf: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise CodecError("truncated varint")
+        b = buf[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 1024:
+            raise CodecError("varint too long")
+
+
+def _write_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif type(value) is int:
+        out.append(_T_INT)
+        # zigzag so negatives stay compact (arbitrary precision)
+        _write_varint(out, value << 1 if value >= 0 else ((-value) << 1) - 1)
+    elif type(value) is float:
+        out.append(_T_FLOAT)
+        out += _DOUBLE.pack(value)
+    elif type(value) is str:
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        _write_varint(out, len(raw))
+        out += raw
+    elif type(value) is bytes:
+        out.append(_T_BYTES)
+        _write_varint(out, len(value))
+        out += value
+    elif type(value) is list or type(value) is tuple:
+        out.append(_T_LIST if type(value) is list else _T_TUPLE)
+        _write_varint(out, len(value))
+        for item in value:
+            _write_value(out, item)
+    elif type(value) is dict:
+        out.append(_T_DICT)
+        _write_varint(out, len(value))
+        for kraw, vraw in sorted(
+                (encode_value(k), encode_value(v)) for k, v in value.items()):
+            out += kraw
+            out += vraw
+    elif type(value) is set or type(value) is frozenset:
+        out.append(_T_SET if type(value) is set else _T_FROZENSET)
+        _write_varint(out, len(value))
+        for raw in sorted(encode_value(item) for item in value):
+            out += raw
+    else:
+        # Envelope messages (GroupMsg, relays) carry other protocol
+        # messages as payloads; registered dataclasses nest natively.
+        key = _BY_CLASS.get(type(value))
+        if key is None:
+            raise CodecError(f"unencodable value of type "
+                             f"{type(value).__name__}: {value!r}")
+        out.append(_T_MSG)
+        _write_value(out, key)
+        _write_value(out, tuple(getattr(value, name)
+                                for name in _FIELDS[type(value)]))
+
+
+def encode_value(value: Any) -> bytes:
+    out = bytearray()
+    _write_value(out, value)
+    return bytes(out)
+
+
+def _read_value(buf: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(buf):
+        raise CodecError("truncated value")
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        z, pos = _read_varint(buf, pos)
+        return (z >> 1) ^ -(z & 1), pos
+    if tag == _T_FLOAT:
+        if pos + 8 > len(buf):
+            raise CodecError("truncated float")
+        return _DOUBLE.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_STR or tag == _T_BYTES:
+        n, pos = _read_varint(buf, pos)
+        if pos + n > len(buf):
+            raise CodecError("truncated string")
+        raw = buf[pos:pos + n]
+        pos += n
+        return (raw.decode("utf-8") if tag == _T_STR else bytes(raw)), pos
+    if tag == _T_LIST or tag == _T_TUPLE:
+        n, pos = _read_varint(buf, pos)
+        items: List[Any] = []
+        for _ in range(n):
+            item, pos = _read_value(buf, pos)
+            items.append(item)
+        return (items if tag == _T_LIST else tuple(items)), pos
+    if tag == _T_DICT:
+        n, pos = _read_varint(buf, pos)
+        d: Dict[Any, Any] = {}
+        for _ in range(n):
+            k, pos = _read_value(buf, pos)
+            v, pos = _read_value(buf, pos)
+            d[k] = v
+        return d, pos
+    if tag == _T_SET or tag == _T_FROZENSET:
+        n, pos = _read_varint(buf, pos)
+        elems: List[Any] = []
+        for _ in range(n):
+            item, pos = _read_value(buf, pos)
+            elems.append(item)
+        return (set(elems) if tag == _T_SET else frozenset(elems)), pos
+    if tag == _T_MSG:
+        key, pos = _read_value(buf, pos)
+        fields, pos = _read_value(buf, pos)
+        cls = _BY_KEY.get(key)
+        if cls is None:
+            raise CodecError(f"unknown nested message type {key!r}")
+        return cls(*fields), pos
+    raise CodecError(f"unknown tag 0x{tag:02x} at offset {pos - 1}")
+
+
+def decode_value(buf: bytes) -> Any:
+    value, pos = _read_value(buf, 0)
+    if pos != len(buf):
+        raise CodecError(f"{len(buf) - pos} trailing bytes after value")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Message registry
+# ---------------------------------------------------------------------------
+
+#: Short module aliases so type keys stay compact on the wire.
+_MODULE_ALIASES = {
+    "repro.dc.messages": "dc",
+    "repro.epaxos.messages": "epx",
+    "repro.groups.messages": "grp",
+    "repro.serve.control": "ctl",
+}
+
+_BY_KEY: Dict[str, Type] = {}
+_BY_CLASS: Dict[Type, str] = {}
+_FIELDS: Dict[Type, Tuple[str, ...]] = {}
+
+
+def _type_key(cls: Type) -> str:
+    alias = _MODULE_ALIASES.get(cls.__module__, cls.__module__)
+    return f"{alias}.{cls.__name__}"
+
+
+def register(cls: Type) -> Type:
+    """Register one message dataclass with the codec."""
+    if not dataclasses.is_dataclass(cls):
+        raise CodecError(f"{cls.__name__} is not a dataclass")
+    key = _type_key(cls)
+    existing = _BY_KEY.get(key)
+    if existing is not None and existing is not cls:
+        raise CodecError(f"type key collision for {key}")
+    _BY_KEY[key] = cls
+    _BY_CLASS[cls] = key
+    _FIELDS[cls] = tuple(f.name for f in dataclasses.fields(cls))
+    return cls
+
+
+def register_module(module_name: str) -> int:
+    """Register every message dataclass defined in ``module_name``.
+
+    A *message* dataclass is one that defines ``wire_size`` — that is
+    the repo-wide contract for anything that crosses the network (the
+    same predicate colony-lint's hygiene rules use).
+    """
+    mod = importlib.import_module(module_name)
+    count = 0
+    for name in dir(mod):
+        obj = getattr(mod, name)
+        if (isinstance(obj, type) and dataclasses.is_dataclass(obj)
+                and obj.__module__ == module_name
+                and "wire_size" in obj.__dict__):
+            register(obj)
+            count += 1
+    return count
+
+
+_BOOTSTRAP_MODULES = (
+    "repro.dc.messages",
+    "repro.epaxos.messages",
+    "repro.groups.messages",
+)
+
+_bootstrapped = False
+
+
+def _ensure_registry() -> None:
+    global _bootstrapped
+    if not _bootstrapped:
+        _bootstrapped = True
+        for module_name in _BOOTSTRAP_MODULES:
+            register_module(module_name)
+
+
+def message_classes() -> Dict[str, Type]:
+    """Type key → class for every registered message."""
+    _ensure_registry()
+    return dict(_BY_KEY)
+
+
+# ---------------------------------------------------------------------------
+# Message + frame codec
+# ---------------------------------------------------------------------------
+
+def encode_message(message: Any) -> bytes:
+    """Encode one message object to ``(type_key, fields)`` bytes."""
+    _ensure_registry()
+    cls = type(message)
+    key = _BY_CLASS.get(cls)
+    if key is None:
+        raise CodecError(f"unregistered message class {cls.__module__}."
+                         f"{cls.__name__}")
+    fields = tuple(getattr(message, name) for name in _FIELDS[cls])
+    out = bytearray()
+    _write_value(out, key)
+    _write_value(out, fields)
+    return bytes(out)
+
+
+def decode_message(buf: bytes) -> Any:
+    _ensure_registry()
+    key, pos = _read_value(buf, 0)
+    fields, pos = _read_value(buf, pos)
+    if pos != len(buf):
+        raise CodecError(f"{len(buf) - pos} trailing bytes after message")
+    cls = _BY_KEY.get(key)
+    if cls is None:
+        raise CodecError(f"unknown message type key {key!r}")
+    return cls(*fields)
+
+
+def encoded_size(message: Any) -> int:
+    """Real wire length of a message body (excluding frame prefix)."""
+    return len(encode_message(message))
+
+
+def encode_frame(src: str, dst: str, message: Any) -> bytes:
+    """One socket frame: 4-byte big-endian length + addressed body."""
+    body = bytearray()
+    _write_value(body, src)
+    _write_value(body, dst)
+    body += encode_message(message)
+    if len(body) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(body)} bytes exceeds "
+                         f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}")
+    return len(body).to_bytes(4, "big") + bytes(body)
+
+
+def decode_frame(body: bytes) -> Tuple[str, str, Any]:
+    """Decode a frame *body* (length prefix already stripped)."""
+    _ensure_registry()
+    src, pos = _read_value(body, 0)
+    dst, pos = _read_value(body, pos)
+    key, pos = _read_value(body, pos)
+    fields, pos = _read_value(body, pos)
+    if pos != len(body):
+        raise CodecError(f"{len(body) - pos} trailing bytes after frame")
+    if not isinstance(src, str) or not isinstance(dst, str):
+        raise CodecError("frame src/dst must be strings")
+    cls = _BY_KEY.get(key)
+    if cls is None:
+        raise CodecError(f"unknown message type key {key!r}")
+    return src, dst, cls(*fields)
+
+
+# ---------------------------------------------------------------------------
+# wire_size honesty
+# ---------------------------------------------------------------------------
+
+def wire_size_drift(message: Any) -> Tuple[int, int]:
+    """``(declared, actual)`` wire sizes for one message instance.
+
+    ``declared`` is the analytical ``wire_size()`` the simulator charges
+    for bandwidth accounting; ``actual`` is the real encoded body
+    length.  M205 fails message classes whose declarations drift beyond
+    tolerance on their sample instances.
+    """
+    return message.wire_size(), encoded_size(message)

@@ -1,0 +1,249 @@
+"""Representative instances of every wire message class.
+
+One place for realistic message samples, shared by:
+
+* the round-trip property tests (encode → decode → equality for every
+  registered class);
+* colony-lint rule **M205**, which encodes each sample and fails any
+  message class whose declared ``wire_size()`` has drifted beyond
+  tolerance from the real encoded length.
+
+Samples follow the real ``to_dict`` shapes of the core types (dots,
+transactions, journal snapshot states, stream entries), plus edge
+variants: empty collections, unicode ids, large counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Type
+
+from ..dc import messages as dc
+from ..epaxos import messages as epx
+from ..groups import messages as grp
+from .codec import message_classes
+
+# -- realistic payload fragments (core to_dict shapes) ----------------------
+
+DOT_A = {"origin": "m0", "counter": 3}
+DOT_B = {"origin": "far", "counter": 12}
+
+KEY_C0 = {"bucket": "app", "key": "c0"}
+KEY_S0 = {"bucket": "app", "key": "s0"}
+
+WRITE_COUNTER = {"key": KEY_C0,
+                 "op": {"type": "counter", "method": "increment",
+                        "payload": {"amount": 2}, "tag": None}}
+WRITE_ORSET = {"key": KEY_S0,
+               "op": {"type": "orset", "method": "add",
+                      "payload": {"value": "m0:7"}, "tag": None}}
+
+TXN = {"dot": DOT_A, "origin": "m0",
+       "snapshot": {"vector": {"dc0": 3, "m0": 2},
+                    "local_deps": [DOT_B]},
+       "commit": {"entries": {"dc0": 7}},
+       "writes": [WRITE_COUNTER, WRITE_ORSET],
+       "issuer": "m0"}
+
+TXN_EMPTY = {"dot": DOT_B, "origin": "far",
+             "snapshot": {"vector": {}, "local_deps": []},
+             "commit": {"entries": {}},
+             "writes": [WRITE_COUNTER],
+             "issuer": None}
+
+OBJECT_STATE = {"key": KEY_C0, "type": "counter",
+                "base": {"type": "counter", "value": 41},
+                "base_dots": [DOT_A, DOT_B]}
+
+STREAM_ENTRY = {"dot": DOT_A, "origin": "dc0",
+                "sv": {"dc1": 2}, "deps": [DOT_B],
+                "cx": {"dc0": 9}, "writes": [WRITE_ORSET]}
+
+VECTOR = {"dc0": 4, "dc1": 17, "dc2": 9}
+
+HLC = (1234.5, 3, "m0")
+INSTANCE = ("m0", 7)
+BALLOT = (1, "m1")
+DEPS = frozenset({("m1", 3), ("m2", 5)})
+
+#: Class -> list of sample instances.  Every registered message class
+#: must appear here (M205 flags missing ones).
+_SAMPLES: Dict[Type, List[Any]] = {
+    # -- edge/client <-> DC ------------------------------------------------
+    dc.SessionOpen: [
+        dc.SessionOpen("far", ((KEY_C0, "counter"), (KEY_S0, "orset")),
+                       dict(VECTOR), (DOT_A,), None),
+        dc.SessionOpen("edgé-1", (), {}, (), "token-αβ"),
+    ],
+    dc.SessionAck: [
+        dc.SessionAck("dc0", (OBJECT_STATE,), dict(VECTOR)),
+        dc.SessionAck("dc1", (), {}, accepted=False, reason="denied"),
+    ],
+    dc.InterestChange: [
+        dc.InterestChange("far", add=((KEY_C0, "counter"),),
+                          remove=(KEY_S0,), state_vector=dict(VECTOR)),
+        dc.InterestChange("far"),
+    ],
+    dc.ObjectRequest: [
+        dc.ObjectRequest("far", KEY_C0, "counter", dict(VECTOR)),
+        dc.ObjectRequest("far", KEY_S0, "orset"),
+    ],
+    dc.ObjectResponse: [
+        dc.ObjectResponse(OBJECT_STATE, dict(VECTOR)),
+    ],
+    dc.EdgeCommit: [dc.EdgeCommit(TXN), dc.EdgeCommit(TXN_EMPTY)],
+    dc.EdgeCommitBatch: [
+        dc.EdgeCommitBatch((TXN, TXN_EMPTY)),
+        dc.EdgeCommitBatch(()),
+    ],
+    dc.CommitAck: [dc.CommitAck(DOT_A, {"dc0": 7, "dc1": 8}),
+                   dc.CommitAck(DOT_B, {})],
+    dc.CommitReject: [dc.CommitReject(DOT_A, "unauthorised")],
+    dc.UpdatePush: [
+        dc.UpdatePush((TXN,), dict(VECTOR), {"dc0": 3}),
+        dc.UpdatePush((), {}, {}),
+    ],
+    dc.RemoteTxnRequest: [
+        dc.RemoteTxnRequest("cloud-1", 42,
+                            reads=((KEY_C0, "counter"),),
+                            updates=((KEY_S0, "orset", "add",
+                                      ("cloud-1:1",)),),
+                            snapshot=dict(VECTOR), local_deps=(DOT_A,),
+                            issuer="u1", dot=DOT_B),
+        dc.RemoteTxnRequest("cloud-2", 1),
+    ],
+    dc.RemoteTxnReply: [
+        dc.RemoteTxnReply(42, (17, None), True, {"dc0": 7}),
+        dc.RemoteTxnReply(1, (), False, reason="conflict"),
+    ],
+    # -- DC <-> DC ---------------------------------------------------------
+    dc.DCSyncPing: [
+        dc.DCSyncPing(dict(VECTOR), dict(VECTOR), 0b1011, 4),
+        dc.DCSyncPing({}, {}),
+    ],
+    # Codec samples, not protocol sends — the legacy-pipeline rule
+    # does not apply here.
+    dc.Replicate: [
+        dc.Replicate(TXN, frozenset({"dc0", "dc1"})),  # colony-lint: disable=R601
+    ],
+    dc.StabilityAck: [
+        dc.StabilityAck(DOT_A, frozenset({"dc2"})),  # colony-lint: disable=R602
+    ],
+    dc.ReplicateBatch: [
+        dc.ReplicateBatch("dc0", 5, {"dc0": 4},
+                          (STREAM_ENTRY, STREAM_ENTRY), dict(VECTOR)),
+        dc.ReplicateBatch("dc1", 0, {}, (), {}),
+    ],
+    dc.ReplicatePartialBatch: [
+        dc.ReplicatePartialBatch("dc0", 5, {"dc0": 4},
+                                 (STREAM_ENTRY, (3, 0b101)),
+                                 dict(VECTOR)),
+    ],
+    dc.InterestAdvert: [dc.InterestAdvert(0b1111, 2, (1, 3))],
+    dc.ShardBackfill: [
+        dc.ShardBackfill(2, ((5, TXN),), 9),
+        dc.ShardBackfill(0, (), 0),
+    ],
+    dc.ReplicateBatchAck: [dc.ReplicateBatchAck(dict(VECTOR))],
+    # -- intra-DC ----------------------------------------------------------
+    dc.ShardPrepare: [dc.ShardPrepare(7, TXN)],
+    dc.ShardVote: [dc.ShardVote(7, True), dc.ShardVote(8, False)],
+    dc.ShardCommit: [dc.ShardCommit(7, TXN)],
+    dc.ShardAbort: [dc.ShardAbort(7)],
+    dc.ShardApply: [dc.ShardApply(TXN)],
+    dc.ShardApplyBatch: [dc.ShardApplyBatch((TXN, TXN_EMPTY))],
+    dc.ShardCompactMsg: [dc.ShardCompactMsg(dict(VECTOR))],
+    dc.ShardRead: [
+        dc.ShardRead(3, KEY_C0, "counter", dict(VECTOR), (DOT_A,)),
+    ],
+    dc.ShardReadReply: [dc.ShardReadReply(3, OBJECT_STATE)],
+    # -- EPaxos ------------------------------------------------------------
+    epx.PreAccept: [
+        epx.PreAccept(INSTANCE, BALLOT, TXN, 2, DEPS),
+        epx.PreAccept(INSTANCE, BALLOT, None, 0, frozenset()),
+    ],
+    epx.PreAcceptReply: [
+        epx.PreAcceptReply(INSTANCE, BALLOT, True, 2, DEPS),
+    ],
+    epx.Accept: [epx.Accept(INSTANCE, BALLOT, TXN, 2, DEPS)],
+    epx.AcceptReply: [epx.AcceptReply(INSTANCE, BALLOT, True)],
+    epx.Commit: [epx.Commit(INSTANCE, TXN, 2, DEPS)],
+    epx.Prepare: [epx.Prepare(INSTANCE, (2, "m2"))],
+    epx.PrepareReply: [
+        epx.PrepareReply(INSTANCE, (2, "m2"), True, "accepted",
+                         BALLOT, TXN, 2, DEPS),
+        epx.PrepareReply(INSTANCE, (2, "m2"), False, "none",
+                         None, None, 0, frozenset()),
+    ],
+    # -- Tiga --------------------------------------------------------------
+    epx.TigaPropose: [epx.TigaPropose(DOT_A, HLC, TXN)],
+    epx.TigaAck: [epx.TigaAck(DOT_A, HLC, True, 1233.25)],
+    epx.TigaCommit: [epx.TigaCommit(DOT_A, HLC, TXN)],
+    epx.TigaWithdraw: [epx.TigaWithdraw(DOT_A)],
+    epx.TigaStatus: [epx.TigaStatus(DOT_A, "m2")],
+    # -- groups ------------------------------------------------------------
+    grp.GroupMsg: [
+        grp.GroupMsg("g", 0, epx.PreAccept(INSTANCE, BALLOT, TXN, 2,
+                                           DEPS)),
+        grp.GroupMsg("g", 3, epx.Commit(INSTANCE, TXN_EMPTY, 1,
+                                        frozenset())),
+    ],
+    grp.JoinGroup: [grp.JoinGroup("m3", ((KEY_C0, "counter"),))],
+    grp.LeaveGroup: [grp.LeaveGroup("m3")],
+    grp.MembershipUpdate: [
+        grp.MembershipUpdate("g", 2, "m0", ("m0", "m1", "m2"),
+                             "key-1"),
+    ],
+    grp.GroupSeed: [
+        grp.GroupSeed("g", 2,
+                      ((INSTANCE, TXN, 2, (("m1", 3),)),
+                       (("m1", 0), None, 0, ())),
+                      dict(VECTOR)),
+    ],
+    grp.InterestAnnounce: [
+        grp.InterestAnnounce("m1", add=((KEY_S0, "orset"),),
+                             remove=(KEY_C0,)),
+    ],
+    grp.GroupFetch: [grp.GroupFetch(KEY_C0, "counter", "m2")],
+    grp.GroupFetchReply: [
+        grp.GroupFetchReply(KEY_C0, OBJECT_STATE, dict(VECTOR), True),
+        grp.GroupFetchReply(KEY_S0, None, {}, False),
+    ],
+    grp.GroupRelayPush: [
+        grp.GroupRelayPush((TXN,), dict(VECTOR), {"dc0": 3}),
+    ],
+    grp.GroupCommitAck: [grp.GroupCommitAck(DOT_A, {"dc0": 7})],
+    grp.TxnPull: [grp.TxnPull("m1", (DOT_A, DOT_B))],
+    grp.TxnPushMsg: [grp.TxnPushMsg((TXN,))],
+}
+
+
+def _control_samples() -> Dict[Type, List[Any]]:
+    from ..serve import control as ctl
+    return {
+        ctl.CtrlStart: [ctl.CtrlStart("serve-3dc")],
+        ctl.CtrlDigestRequest: [ctl.CtrlDigestRequest(4)],
+        ctl.CtrlDigestReply: [
+            ctl.CtrlDigestReply(4, "dc0", "dc", "ab" * 32, 5, 18),
+        ],
+        ctl.CtrlShutdown: [ctl.CtrlShutdown()],
+        ctl.CtrlBye: [ctl.CtrlBye("dc0")],
+    }
+
+
+def samples_by_class() -> Dict[Type, List[Any]]:
+    """Samples for every registered message class (ctl included)."""
+    merged = dict(_SAMPLES)
+    merged.update(_control_samples())
+    return merged
+
+
+def all_samples() -> List[Any]:
+    return [sample for samples in samples_by_class().values()
+            for sample in samples]
+
+
+def unsampled_classes() -> List[Type]:
+    """Registered message classes with no sample (M205 flags these)."""
+    covered = set(samples_by_class())
+    return [cls for cls in message_classes().values()
+            if cls not in covered]

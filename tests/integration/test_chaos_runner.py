@@ -51,3 +51,42 @@ def test_run_suite_report_shape():
     (scenario,) = report["scenarios"]
     assert scenario["topology"] == "group"
     assert scenario["checkpoints_run"] > 0
+
+
+def test_crash_recover_timer_lifecycle():
+    """Regression: process crash/recover must not resurrect stale timers.
+
+    A ``crash`` fault fail-stops a group member's process and recovers
+    it mid-window.  Before the timer-epoch fix, timers armed before the
+    crash (retry/keepalive callbacks closing over pre-crash state) fired
+    into the recovered actor and corrupted its retry bookkeeping.  The
+    scenario converging with zero invariant violations — and replaying
+    byte-identically — is the regression guard.
+    """
+    schedule = [
+        FaultEvent(1200.0, "crash", ("m1",), duration=700.0),
+        FaultEvent(1600.0, "crash", ("far",), duration=500.0),
+        # Overlapping windows on one node: recover only after the last.
+        FaultEvent(2100.0, "crash", ("m1",), duration=400.0),
+        FaultEvent(2300.0, "crash", ("m1",), duration=600.0),
+    ]
+    config = ScenarioConfig(topology="group", seed=11, n_txns=12,
+                            window_ms=3000.0)
+    first = run_scenario(config, schedule=schedule)
+    assert first.ok, [str(v) for v in first.violations]
+    assert first.converged
+    assert first.faults_injected == 4
+    second = run_scenario(config, schedule=schedule)
+    assert first.to_dict() == second.to_dict()
+
+
+def test_generated_schedules_can_include_crashes():
+    """crash_nodes opts a spec into generated crash faults."""
+    from repro.chaos.schedule import FaultSpec, generate_schedule
+
+    spec = FaultSpec(crash_nodes=["m1", "m2"])
+    events = [e for s in range(8)
+              for e in generate_schedule(s, spec, start=500.0,
+                                         window=2000.0)]
+    assert events and all(e.kind == "crash" for e in events)
+    assert {t for e in events for t in e.targets} <= {"m1", "m2"}

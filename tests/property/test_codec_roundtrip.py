@@ -1,0 +1,81 @@
+"""Property tests: the wire codec is a bijection on its value domain.
+
+Two generators: arbitrary value trees (the codec's full domain) and the
+per-class sample corpus perturbed structurally (realistic messages).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transport import samples
+from repro.transport.codec import (decode_frame, decode_message,
+                                   decode_value, encode_frame,
+                                   encode_message, encode_value)
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**80), max_value=2**80),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+_hashable = st.recursive(
+    st.one_of(st.none(), st.booleans(),
+              st.integers(min_value=-(2**40), max_value=2**40),
+              st.text(max_size=12)),
+    lambda inner: st.one_of(
+        st.tuples(inner), st.tuples(inner, inner),
+        st.frozensets(inner, max_size=4)),
+    max_leaves=8)
+
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=5),
+        st.lists(inner, max_size=5).map(tuple),
+        st.frozensets(_hashable, max_size=5),
+        st.frozensets(_hashable, max_size=5).map(set),
+        st.dictionaries(_hashable, inner, max_size=5)),
+    max_leaves=24)
+
+
+@given(_values)
+@settings(max_examples=300, deadline=None)
+def test_value_round_trip(value):
+    back = decode_value(encode_value(value))
+    assert back == value
+    assert type(back) is type(value)
+
+
+@given(st.dictionaries(st.text(max_size=8), _values, max_size=6),
+       st.randoms(use_true_random=False))
+@settings(max_examples=150, deadline=None)
+def test_encoding_is_insertion_order_canonical(mapping, rnd):
+    items = list(mapping.items())
+    rnd.shuffle(items)
+    assert encode_value(dict(items)) == encode_value(mapping)
+    keys = frozenset(mapping)
+    shuffled_keys = list(mapping)
+    rnd.shuffle(shuffled_keys)
+    assert encode_value(frozenset(shuffled_keys)) == encode_value(keys)
+
+
+_sample_messages = st.sampled_from(samples.all_samples())
+
+
+@given(_sample_messages)
+@settings(max_examples=200, deadline=None)
+def test_every_message_class_round_trips(message):
+    back = decode_message(encode_message(message))
+    assert back == message
+    assert type(back) is type(message)
+
+
+@given(_sample_messages, st.text(min_size=1, max_size=16),
+       st.text(min_size=1, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_frame_round_trip(message, src, dst):
+    frame = encode_frame(src, dst, message)
+    assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+    assert decode_frame(frame[4:]) == (src, dst, message)

@@ -15,6 +15,7 @@ import pytest
 from repro.analysis import ALL_RULES, Project, run_rules
 from repro.analysis.core import (load_baseline, split_baselined,
                                  write_baseline)
+from repro.analysis.rules import hygiene
 from repro.analysis.selfcheck import EXPECTED, planted_sources, run_self_check
 
 REPO = Path(__file__).resolve().parents[2]
@@ -414,8 +415,39 @@ def test_baseline_fingerprint_line_independent(tmp_path):
 # ---------------------------------------------------------------------------
 
 def test_self_check_trips_every_code():
-    found = {f.rule for f in check(planted_sources())}
+    # M205 is a runtime audit; inject a record as run_self_check does.
+    hygiene.AUDIT_OVERRIDE = lambda: [
+        ("planted.messages", "BadRecord", "drift", (8, 400))]
+    try:
+        found = {f.rule for f in check(planted_sources())}
+    finally:
+        hygiene.AUDIT_OVERRIDE = None
     assert EXPECTED <= found
+
+
+def test_wire_drift_audit_reports_m205():
+    records = [
+        ("pkg.messages", "Msg", "drift", (8, 400)),
+        ("pkg.messages", "Msg", "unsampled", None),
+        ("pkg.messages", "Msg", "unencodable", "CodecError('x')"),
+        ("elsewhere.messages", "Other", "drift", (1, 2)),  # not in tree
+    ]
+    hygiene.AUDIT_OVERRIDE = lambda: records
+    try:
+        findings = [f for f in check({
+            "pkg/messages.py": MESSAGES.replace("Ping", "Msg"),
+        }) if f.rule == "M205"]
+    finally:
+        hygiene.AUDIT_OVERRIDE = None
+    assert len(findings) == 3       # the out-of-tree record is skipped
+    assert all(f.path == "pkg/messages.py" for f in findings)
+    assert any("declares 8 bytes" in f.message for f in findings)
+    assert any("no sample" in f.message for f in findings)
+    assert any("does not survive" in f.message for f in findings)
+
+
+def test_wire_drift_audit_real_corpus_is_clean():
+    assert [r for r in hygiene._wire_audit()] == []
 
 
 def test_self_check_exit_protocol(capsys):

@@ -1,0 +1,175 @@
+"""Transport abstraction: SimTransport facets, actor construction,
+seeded rng derivation, crash/recover timer lifecycle, asyncio backend."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.sim import Actor, EventLoop, Network, Simulation
+from repro.transport.asyncio_backend import AsyncioTransport
+from repro.transport.base import SimTransport
+
+
+def make_world(seed=0):
+    loop = EventLoop()
+    rng = random.Random(seed)
+    network = Network(loop, rng, seed=seed)
+    return loop, network
+
+
+class TestSimTransport:
+    def test_facets_expose_loop_and_network(self):
+        loop, network = make_world()
+        transport = network.transport_view(loop)
+        assert transport.timers is loop
+        assert transport.net is network
+        assert transport.seed == 0
+
+    def test_view_is_memoized(self):
+        loop, network = make_world()
+        assert network.transport_view(loop) is network.transport_view(loop)
+
+    def test_null_network_rejected(self):
+        with pytest.raises(TypeError):
+            SimTransport(EventLoop(), None)
+
+
+class TestActorConstruction:
+    def test_actor_via_transport_matches_classic_form(self):
+        loop, network = make_world(seed=5)
+        classic = Actor("a", loop, network)
+        via_transport = Actor("b", network.transport_view(loop))
+        assert classic.loop is via_transport.loop
+        assert classic.network is via_transport.network
+
+    def test_loop_without_network_rejected(self):
+        with pytest.raises(TypeError):
+            Actor("a", EventLoop())
+
+    def test_rng_derived_from_seed_and_node_id(self):
+        loop, network = make_world(seed=7)
+        a = Actor("a", loop, network)
+        b = Actor("b", loop, network)
+        assert a.rng.random() == random.Random("7/a").random()
+        assert b.rng.random() == random.Random("7/b").random()
+
+    def test_spawned_and_direct_actors_share_rng_stream(self):
+        sim = Simulation(seed=3)
+        spawned = sim.spawn(Actor, "n0")
+        loop, network = make_world(seed=3)
+        direct = Actor("n0", loop, network)
+        assert [spawned.rng.random() for _ in range(4)] \
+            == [direct.rng.random() for _ in range(4)]
+
+
+class TestTimerLifecycle:
+    def test_crash_cancels_pending_timers(self):
+        sim = Simulation(seed=0)
+        actor = sim.spawn(Actor, "n0")
+        fired = []
+        actor.set_timer(10.0, lambda: fired.append("boom"))
+        actor.crash()
+        sim.run(50.0)
+        assert fired == []
+
+    def test_pre_crash_timer_does_not_fire_after_recovery(self):
+        sim = Simulation(seed=0)
+        actor = sim.spawn(Actor, "n0")
+        fired = []
+        actor.set_timer(10.0, lambda: fired.append("stale"))
+        sim.run(1.0)
+        actor.crash()
+        sim.run(2.0)        # recover before the stale timer matures
+        actor.recover()
+        sim.run(100.0)
+        assert fired == []
+
+    def test_timers_armed_after_recovery_fire(self):
+        sim = Simulation(seed=0)
+        actor = sim.spawn(Actor, "n0")
+        fired = []
+        actor.crash()
+        actor.recover()
+        actor.set_timer(10.0, lambda: fired.append("fresh"))
+        sim.run(50.0)
+        assert fired == ["fresh"]
+
+    def test_periodic_timers_rearmed_on_recovery(self):
+        sim = Simulation(seed=0)
+        actor = sim.spawn(Actor, "n0")
+        ticks = []
+        actor.every(10.0, lambda: ticks.append(sim.loop.now))
+        sim.run_for(25.0)
+        before = len(ticks)
+        assert before >= 2
+        actor.crash()
+        sim.run_for(30.0)
+        assert len(ticks) == before     # silent while down
+        actor.recover()
+        sim.run_for(30.0)
+        assert len(ticks) > before      # cadence resumes
+
+
+class TestAsyncioBackend:
+    def test_timers_and_local_delivery(self):
+        async def scenario():
+            transport = AsyncioTransport("site", seed=0)
+            got = []
+            transport.attach("a", lambda m, s: got.append((m, s)))
+            transport.attach("b", lambda m, s: got.append(("b", m, s)))
+            fired = []
+            transport.schedule(5.0, lambda: fired.append(transport.now))
+            cancelled = transport.schedule(5.0,
+                                           lambda: fired.append("no"))
+            cancelled.cancel()
+            assert cancelled.cancelled
+            transport.send("a", "b", "ping")
+            assert got == []            # local sends are not reentrant
+            await asyncio.sleep(0.05)
+            assert ("b", "ping", "a") in got
+            assert fired and fired != ["no"]
+            await transport.stop()
+
+        asyncio.run(scenario())
+
+    def test_actor_runs_on_asyncio_transport(self):
+        async def scenario():
+            transport = AsyncioTransport("site", seed=9)
+            actor = Actor("n1", transport)
+            assert actor.rng.random() == random.Random("9/n1").random()
+            assert actor.transport is transport
+            await transport.stop()
+
+        asyncio.run(scenario())
+
+    def test_tcp_send_between_transports(self):
+        async def scenario():
+            homes = {"a": "s1", "b": "s2"}
+            t1 = AsyncioTransport("s1", homes=homes,
+                                  listen=("127.0.0.1", 0))
+            t2 = AsyncioTransport("s2", homes=homes,
+                                  listen=("127.0.0.1", 0))
+            await t1.start()
+            await t2.start()
+            t1.peer_addrs.update({"s1": t1.listen_addr,
+                                  "s2": t2.listen_addr})
+            t2.peer_addrs.update(t1.peer_addrs)
+
+            got = asyncio.Event()
+            inbox = []
+
+            def on_message(message, sender):
+                inbox.append((message, sender))
+                got.set()
+
+            t2.attach("b", on_message)
+            from repro.dc.messages import CommitAck
+            message = CommitAck({"origin": "a", "counter": 1}, {"dc": 2})
+            t1.send("a", "b", message)
+            await asyncio.wait_for(got.wait(), timeout=5.0)
+            assert inbox == [(message, "a")]
+            await t1.stop()
+            await t2.stop()
+
+        asyncio.run(scenario())

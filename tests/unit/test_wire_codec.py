@@ -1,0 +1,120 @@
+"""Wire codec: value round-trips, framing, registry, wire_size honesty."""
+
+import pytest
+
+from repro.dc.messages import CommitAck, EdgeCommit
+from repro.epaxos.messages import Commit, PreAccept
+from repro.groups.messages import GroupMsg
+from repro.transport import samples
+from repro.transport.codec import (CodecError, MAX_FRAME_BYTES, decode_frame,
+                                   decode_message, decode_value, encode_frame,
+                                   encode_message, encode_value, encoded_size,
+                                   message_classes, wire_size_drift)
+from repro.analysis.rules.hygiene import (WIRE_DRIFT_FACTOR,
+                                          WIRE_DRIFT_SLACK_BYTES)
+
+
+class TestValueRoundTrip:
+    VALUES = [
+        None, True, False, 0, 1, -1, 2**64, -(2**64), 10**30,
+        0.0, -1.5, 2.5e300, "", "héllo ∆", b"", b"\x00\xff",
+        (), (1, 2), [], [1, "a"], set(), {1, 2}, frozenset({3}),
+        {}, {"a": 1, "b": [2, 3]}, {"nested": {"x": (1,)}},
+        ({"k": frozenset({("a", 1)})},),
+    ]
+
+    @pytest.mark.parametrize("value", VALUES, ids=repr)
+    def test_round_trip_preserves_value_and_type(self, value):
+        back = decode_value(encode_value(value))
+        assert back == value
+        assert type(back) is type(value)
+
+    def test_container_element_types_survive(self):
+        value = (1, [2.5], {"s"}, frozenset({4}), {"k": (5,)})
+        back = decode_value(encode_value(value))
+        assert isinstance(back[1], list) and isinstance(back[2], set)
+        assert isinstance(back[3], frozenset) and isinstance(back[4]["k"],
+                                                             tuple)
+
+    def test_dict_encoding_is_canonical(self):
+        a = encode_value({"x": 1, "y": 2})
+        b = encode_value(dict([("y", 2), ("x", 1)]))
+        assert a == b
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(CodecError):
+            decode_value(encode_value(1) + b"\x00")
+
+
+class TestMessageCodec:
+    def test_message_round_trip(self):
+        message = CommitAck({"origin": "m0", "counter": 3}, {"dc0": 7})
+        assert decode_message(encode_message(message)) == message
+
+    def test_nested_message_payload_round_trips(self):
+        inner = PreAccept(("m0", 7), (1, "m1"), None, 0, frozenset())
+        outer = GroupMsg("g", 0, inner)
+        back = decode_message(encode_message(outer))
+        assert back == outer
+        assert isinstance(back.payload, PreAccept)
+
+    def test_unregistered_dataclass_raises(self):
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class NotRegistered:
+            x: int
+
+        with pytest.raises(CodecError):
+            encode_message(NotRegistered(1))
+
+    def test_encoded_size_matches_encoding(self):
+        message = EdgeCommit(samples.TXN)
+        assert encoded_size(message) == len(encode_message(message))
+
+    def test_registry_covers_all_protocol_modules(self):
+        modules = {cls.__module__ for cls in message_classes().values()}
+        assert {"repro.dc.messages", "repro.epaxos.messages",
+                "repro.groups.messages"} <= modules
+
+
+class TestFraming:
+    def test_frame_round_trip(self):
+        message = Commit(("m1", 3), samples.TXN, 2, frozenset({("m0", 1)}))
+        frame = encode_frame("m1", "m2", message)
+        assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+        src, dst, back = decode_frame(frame[4:])
+        assert (src, dst, back) == ("m1", "m2", message)
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(CodecError):
+            encode_frame("a", "b", EdgeCommit(
+                {"writes": ["x" * MAX_FRAME_BYTES]}))
+
+    def test_truncated_body_raises(self):
+        frame = encode_frame("m1", "m2", CommitAck(samples.DOT_A, {}))
+        with pytest.raises(CodecError):
+            decode_frame(frame[4:-1])
+
+
+class TestWireSizeHonesty:
+    def test_every_registered_class_has_a_sample(self):
+        assert samples.unsampled_classes() == []
+
+    def test_samples_round_trip(self):
+        for sample in samples.all_samples():
+            assert decode_message(encode_message(sample)) == sample
+
+    def test_declared_wire_size_within_tolerance(self):
+        offenders = []
+        for sample in samples.all_samples():
+            declared, actual = wire_size_drift(sample)
+            low = actual / WIRE_DRIFT_FACTOR - WIRE_DRIFT_SLACK_BYTES
+            high = actual * WIRE_DRIFT_FACTOR + WIRE_DRIFT_SLACK_BYTES
+            if not low <= declared <= high:
+                offenders.append((type(sample).__name__, declared, actual))
+        assert offenders == []
